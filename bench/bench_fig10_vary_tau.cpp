@@ -1,0 +1,51 @@
+// Figure 10: effect of the base pickup waiting time τ (60..300 s) on total
+// revenue and batch running time. Expected shape: revenue rises with τ for
+// every approach (patient riders are easier to serve); LS-R slightly above
+// LS-P; IRG/LS above the baselines.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiment_common.h"
+#include "util/strings.h"
+
+using namespace mrvd;
+using namespace mrvd::bench;
+
+int main() {
+  ExperimentScale scale = ResolveScale();
+  std::printf("Reproduction of Figure 10 (scale=%.2f)\n", scale.scale);
+
+  const std::vector<std::string> approaches = {
+      "RAND", "LTG", "NEAR", "POLAR", "IRG-P", "LS-P", "LS-R"};
+  const std::vector<double> taus = {60, 120, 180, 240, 300};
+
+  std::vector<std::vector<SimResult>> results(approaches.size());
+  for (double tau : taus) {
+    // τ changes the workload itself (deadlines are part of the orders).
+    Experiment exp(scale, scale.Count(3000), tau);
+    for (size_t a = 0; a < approaches.size(); ++a) {
+      results[a].push_back(exp.RunApproach(approaches[a], 3.0, 1200.0));
+    }
+  }
+
+  std::vector<std::string> header = {"approach"};
+  for (double tau : taus) header.push_back(StrFormat("%.0fs", tau));
+
+  PrintTableHeader("Figure 10(a): total revenue vs τ", header);
+  for (size_t a = 0; a < approaches.size(); ++a) {
+    std::vector<std::string> row = {approaches[a]};
+    for (const auto& r : results[a]) row.push_back(FormatRevenue(r.total_revenue));
+    PrintTableRow(row);
+  }
+
+  PrintTableHeader("Figure 10(b): mean batch running time (ms) vs τ", header);
+  for (size_t a = 0; a < approaches.size(); ++a) {
+    std::vector<std::string> row = {approaches[a]};
+    for (const auto& r : results[a]) {
+      row.push_back(StrFormat("%.3f", r.batch_seconds.mean() * 1e3));
+    }
+    PrintTableRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 13 (Appendix C): number of served orders under the
+// served-order-maximizing objective — SHORT vs RAND, NEAR, POLAR across the
+// four parameter sweeps (n, t_c, Δ, τ). Expected shape: SHORT serves the
+// most orders in every sweep.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiment_common.h"
+#include "util/strings.h"
+
+using namespace mrvd;
+using namespace mrvd::bench;
+
+namespace {
+
+const std::vector<std::string> kApproaches = {"RAND", "NEAR", "POLAR",
+                                              "SHORT"};
+
+void PrintServedTable(const std::string& title,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<SimResult>>& results) {
+  PrintTableHeader(title, header);
+  for (size_t a = 0; a < kApproaches.size(); ++a) {
+    std::vector<std::string> row = {kApproaches[a]};
+    for (const auto& r : results[a]) {
+      row.push_back(StrFormat("%lld", (long long)r.served_orders));
+    }
+    PrintTableRow(row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  ExperimentScale scale = ResolveScale();
+  std::printf("Reproduction of Figure 13 (scale=%.2f)\n", scale.scale);
+
+  {  // (a) vary n
+    std::vector<std::vector<SimResult>> results(kApproaches.size());
+    for (int n : {1000, 2000, 3000, 4000, 5000}) {
+      Experiment exp(scale, scale.Count(n), 120.0);
+      for (size_t a = 0; a < kApproaches.size(); ++a) {
+        results[a].push_back(exp.RunApproach(kApproaches[a], 3.0, 1200.0));
+      }
+    }
+    PrintServedTable("Figure 13(a): served orders vs n",
+                     {"approach", "1K", "2K", "3K", "4K", "5K"}, results);
+  }
+  {  // (b) vary t_c
+    Experiment exp(scale, scale.Count(3000), 120.0);
+    std::vector<std::vector<SimResult>> results(kApproaches.size());
+    std::vector<std::string> header = {"approach"};
+    for (double tc : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+      header.push_back(StrFormat("%.0fm", tc));
+      for (size_t a = 0; a < kApproaches.size(); ++a) {
+        results[a].push_back(
+            exp.RunApproach(kApproaches[a], 3.0, tc * 60.0));
+      }
+    }
+    PrintServedTable("Figure 13(b): served orders vs t_c", header, results);
+  }
+  {  // (c) vary Δ
+    Experiment exp(scale, scale.Count(3000), 120.0);
+    std::vector<std::vector<SimResult>> results(kApproaches.size());
+    std::vector<std::string> header = {"approach"};
+    for (double delta : {3.0, 5.0, 10.0, 20.0, 30.0}) {
+      header.push_back(StrFormat("%.0fs", delta));
+      for (size_t a = 0; a < kApproaches.size(); ++a) {
+        results[a].push_back(exp.RunApproach(kApproaches[a], delta, 1200.0));
+      }
+    }
+    PrintServedTable("Figure 13(c): served orders vs Δ", header, results);
+  }
+  {  // (d) vary τ
+    std::vector<std::vector<SimResult>> results(kApproaches.size());
+    std::vector<std::string> header = {"approach"};
+    for (double tau : {60.0, 120.0, 180.0, 240.0, 300.0}) {
+      header.push_back(StrFormat("%.0fs", tau));
+      Experiment exp(scale, scale.Count(3000), tau);
+      for (size_t a = 0; a < kApproaches.size(); ++a) {
+        results[a].push_back(exp.RunApproach(kApproaches[a], 3.0, 1200.0));
+      }
+    }
+    PrintServedTable("Figure 13(d): served orders vs τ", header, results);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 7: total revenue (a) and mean batch running time (b) as the fleet
+// grows from 1K to 5K drivers. Expected shape: revenue rises with n for
+// every approach; IRG/LS lead at small n; the gap narrows toward UPPER as
+// the fleet saturates demand.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiment_common.h"
+#include "util/strings.h"
+
+using namespace mrvd;
+using namespace mrvd::bench;
+
+int main() {
+  ExperimentScale scale = ResolveScale();
+  std::printf("Reproduction of Figure 7 (scale=%.2f)\n", scale.scale);
+
+  const std::vector<std::string> approaches = {
+      "RAND", "LTG", "NEAR", "POLAR", "IRG-P", "LS-P", "UPPER"};
+  const std::vector<int> fleet = {1000, 2000, 3000, 4000, 5000};
+
+  std::vector<std::vector<SimResult>> results(approaches.size());
+  for (int n : fleet) {
+    Experiment exp(scale, scale.Count(n), 120.0);
+    for (size_t a = 0; a < approaches.size(); ++a) {
+      results[a].push_back(exp.RunApproach(approaches[a], 3.0, 1200.0));
+    }
+  }
+
+  PrintTableHeader("Figure 7(a): total revenue vs n",
+                   {"approach", "1K", "2K", "3K", "4K", "5K"});
+  for (size_t a = 0; a < approaches.size(); ++a) {
+    std::vector<std::string> row = {approaches[a]};
+    for (const auto& r : results[a]) row.push_back(FormatRevenue(r.total_revenue));
+    PrintTableRow(row);
+  }
+
+  PrintTableHeader("Figure 7(b): mean batch running time (ms) vs n",
+                   {"approach", "1K", "2K", "3K", "4K", "5K"});
+  for (size_t a = 0; a < approaches.size(); ++a) {
+    std::vector<std::string> row = {approaches[a]};
+    for (const auto& r : results[a]) {
+      row.push_back(StrFormat("%.3f", r.batch_seconds.mean() * 1e3));
+    }
+    PrintTableRow(row);
+  }
+
+  PrintTableHeader("LS-P as share of UPPER (paper: 78.1% at 1K -> 92.0% at 5K)",
+                   {"n", "share"});
+  size_t ls = 5, upper = 6;
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    PrintTableRow({StrFormat("%dK", fleet[i] / 1000),
+                   StrFormat("%.1f%%", 100.0 * results[ls][i].total_revenue /
+                                           results[upper][i].total_revenue)});
+  }
+  return 0;
+}

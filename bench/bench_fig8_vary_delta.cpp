@@ -1,0 +1,49 @@
+// Figure 8: effect of the batch interval Δ (3..30 s) on total revenue and
+// batch running time. Expected shape: revenue decays slightly with Δ (more
+// riders time out between batches); IRG-R/LS-R (ground-truth demand) above
+// IRG-P/LS-P; all queueing approaches above RAND/LTG/NEAR/POLAR.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiment_common.h"
+#include "util/strings.h"
+
+using namespace mrvd;
+using namespace mrvd::bench;
+
+int main() {
+  ExperimentScale scale = ResolveScale();
+  std::printf("Reproduction of Figure 8 (scale=%.2f)\n", scale.scale);
+
+  const std::vector<std::string> approaches = {
+      "RAND", "LTG", "NEAR", "POLAR", "IRG-P", "IRG-R", "LS-P", "LS-R"};
+  const std::vector<double> deltas = {3, 5, 10, 20, 30};
+
+  Experiment exp(scale, scale.Count(3000), 120.0);
+  std::vector<std::vector<SimResult>> results(approaches.size());
+  for (double delta : deltas) {
+    for (size_t a = 0; a < approaches.size(); ++a) {
+      results[a].push_back(exp.RunApproach(approaches[a], delta, 1200.0));
+    }
+  }
+
+  PrintTableHeader("Figure 8(a): total revenue vs Δ",
+                   {"approach", "3s", "5s", "10s", "20s", "30s"});
+  for (size_t a = 0; a < approaches.size(); ++a) {
+    std::vector<std::string> row = {approaches[a]};
+    for (const auto& r : results[a]) row.push_back(FormatRevenue(r.total_revenue));
+    PrintTableRow(row);
+  }
+
+  PrintTableHeader("Figure 8(b): mean batch running time (ms) vs Δ",
+                   {"approach", "3s", "5s", "10s", "20s", "30s"});
+  for (size_t a = 0; a < approaches.size(); ++a) {
+    std::vector<std::string> row = {approaches[a]};
+    for (const auto& r : results[a]) {
+      row.push_back(StrFormat("%.3f", r.batch_seconds.mean() * 1e3));
+    }
+    PrintTableRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 9: effect of the scheduling-window length t_c (5..100 minutes) on
+// total revenue and batch running time. Expected shape: IRG/LS peak for
+// t_c <= 20 min and decay for larger windows (rejoin forecasts beyond the
+// typical trip length stop being informative); RAND/LTG are flat in t_c.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiment_common.h"
+#include "util/strings.h"
+
+using namespace mrvd;
+using namespace mrvd::bench;
+
+int main() {
+  ExperimentScale scale = ResolveScale();
+  std::printf("Reproduction of Figure 9 (scale=%.2f)\n", scale.scale);
+
+  const std::vector<std::string> approaches = {"RAND",  "LTG",   "NEAR",
+                                               "POLAR", "IRG-P", "LS-P"};
+  const std::vector<double> tcs_minutes = {5, 10, 15, 20, 40, 60, 80, 100};
+
+  Experiment exp(scale, scale.Count(3000), 120.0);
+  std::vector<std::vector<SimResult>> results(approaches.size());
+  for (double tc : tcs_minutes) {
+    for (size_t a = 0; a < approaches.size(); ++a) {
+      results[a].push_back(exp.RunApproach(approaches[a], 3.0, tc * 60.0));
+    }
+  }
+
+  std::vector<std::string> header = {"approach"};
+  for (double tc : tcs_minutes) header.push_back(StrFormat("%.0fm", tc));
+
+  PrintTableHeader("Figure 9(a): total revenue vs t_c", header);
+  for (size_t a = 0; a < approaches.size(); ++a) {
+    std::vector<std::string> row = {approaches[a]};
+    for (const auto& r : results[a]) row.push_back(FormatRevenue(r.total_revenue));
+    PrintTableRow(row);
+  }
+
+  PrintTableHeader("Figure 9(b): mean batch running time (ms) vs t_c", header);
+  for (size_t a = 0; a < approaches.size(); ++a) {
+    std::vector<std::string> row = {approaches[a]};
+    for (const auto& r : results[a]) {
+      row.push_back(StrFormat("%.3f", r.batch_seconds.mean() * 1e3));
+    }
+    PrintTableRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table 3: accuracy of the queueing-theoretic idle-time estimate (MAE,
+// relative RMSE, real RMSE) as the fleet grows from 1K to 8K drivers, plus
+// the Figure-6 per-region comparison of predicted vs. real idle time.
+#include <cstdio>
+
+#include "experiment_common.h"
+#include "util/strings.h"
+
+using namespace mrvd;
+using namespace mrvd::bench;
+
+int main() {
+  ExperimentScale scale = ResolveScale();
+  std::printf("Reproduction of Table 3 / Figure 6 (scale=%.2f)\n", scale.scale);
+
+  PrintTableHeader("Table 3: Results of the Estimated Idle Time",
+                   {"#Drivers", "MAE (s)", "RMSE (%)", "Real RMSE (s)",
+                    "samples"});
+  for (int paper_n : {1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000}) {
+    Experiment exp(scale, scale.Count(paper_n), 120.0);
+    SimResult r = exp.RunApproach("IRG-P", 3.0, 1200.0);
+    PrintTableRow({StrFormat("%dK*", paper_n / 1000),
+                   StrFormat("%.2f", r.idle_error.Mae()),
+                   StrFormat("%.2f", r.idle_error.RelativeRmsePct()),
+                   StrFormat("%.2f", r.idle_error.RealRmse()),
+                   StrFormat("%lld", (long long)r.idle_error.count())});
+  }
+  std::printf("(* fleet sizes scaled by scale^1.5; see DESIGN.md)\n");
+
+  // Figure 6: per-region predicted vs. real mean idle time at the default
+  // fleet size, rendered as two aligned grids.
+  Experiment exp(scale, scale.Count(3000), 120.0);
+  SimResult r = exp.RunApproach("IRG-P", 3.0, 1200.0);
+  const Grid& grid = exp.grid();
+  std::printf("\n== Figure 6: mean idle time per region (seconds) ==\n");
+  std::printf("%-34s | %-34s\n", "(a) predicted", "(b) real");
+  for (int row = grid.rows() - 1; row >= 0; --row) {
+    std::string pred_line, real_line;
+    for (int col = 0; col < grid.cols(); ++col) {
+      const auto& reg = r.region_idle[static_cast<size_t>(
+          grid.RegionAt(row, col))];
+      if (reg.count == 0) {
+        pred_line += "   . ";
+        real_line += "   . ";
+      } else {
+        pred_line += StrFormat("%4.0f ", reg.MeanPredicted());
+        real_line += StrFormat("%4.0f ", reg.MeanReal());
+      }
+    }
+    std::printf("%s | %s\n", pred_line.c_str(), real_line.c_str());
+  }
+  std::printf("('.' = no driver rejoined that region)\n");
+  return 0;
+}

@@ -1,0 +1,221 @@
+#include "experiment_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/strings.h"
+#include "workload/tlc_parser.h"
+
+namespace mrvd::bench {
+
+ExperimentScale ResolveScale() {
+  ExperimentScale s;
+  if (const char* full = std::getenv("MRVD_FULL");
+      full != nullptr && full[0] == '1') {
+    s.scale = 1.0;
+  } else if (const char* sc = std::getenv("MRVD_SCALE")) {
+    auto parsed = ParseDouble(sc);
+    if (parsed.ok() && *parsed > 0.0 && *parsed <= 1.0) s.scale = *parsed;
+  }
+  if (const char* seed = std::getenv("MRVD_SEED")) {
+    auto parsed = ParseInt64(seed);
+    if (parsed.ok()) s.seed = static_cast<uint64_t>(*parsed);
+  }
+  if (const char* csv = std::getenv("MRVD_TLC_CSV")) s.tlc_csv = csv;
+  return s;
+}
+
+namespace {
+/// Training history: 21 days (as in the paper's chi-square setup) before
+/// the evaluation day.
+constexpr int kTrainDays = 21;
+}  // namespace
+
+Experiment::Experiment(const ExperimentScale& scale, int num_drivers,
+                       double tau_seconds)
+    // ~40 km/h cruising with a 1.3 street-detour factor (NYC TLC reports
+    // city-wide averages of 20-40 km/h depending on borough and hour).
+    : scale_(scale), cost_(11.0, 1.3) {
+  GeneratorConfig cfg;
+  cfg.orders_per_day = scale.Orders();
+  cfg.base_pickup_wait = tau_seconds;
+  cfg.seed = scale.seed;
+  // Scale the city area with the order volume (linear dims by sqrt(scale))
+  // so spatial density — and with it the queueing regimes and pickup
+  // feasibility — matches the paper at every scale.
+  if (scale.scale < 1.0) {
+    double shrink = std::sqrt(scale.scale);
+    LatLon c = cfg.box.Center();
+    double half_w = cfg.box.WidthDegrees() * 0.5 * shrink;
+    double half_h = cfg.box.HeightDegrees() * 0.5 * shrink;
+    cfg.box = {c.lon - half_w, c.lon + half_w, c.lat - half_h, c.lat + half_h};
+  }
+  generator_ = std::make_unique<NycLikeGenerator>(cfg);
+
+  eval_day_ = kTrainDays;
+  if (!scale_.tlc_csv.empty()) {
+    TlcParseOptions opt;
+    opt.base_pickup_wait = tau_seconds;
+    opt.seed = scale.seed;
+    auto parsed = ParseTlcCsv(scale_.tlc_csv, num_drivers, opt);
+    if (parsed.ok()) {
+      workload_ = std::move(parsed).value();
+      MRVD_LOG(Info) << "loaded " << workload_.orders.size()
+                     << " TLC orders from " << scale_.tlc_csv;
+    } else {
+      MRVD_LOG(Warn) << "TLC parse failed (" << parsed.status()
+                     << "); falling back to synthetic";
+    }
+  }
+  if (workload_.orders.empty()) {
+    workload_ = generator_->GenerateDay(eval_day_, num_drivers);
+  }
+
+  // Observed tensor: generated training history plus the realized counts of
+  // the evaluation day appended as the final day.
+  DemandHistory train = generator_->GenerateHistory(kTrainDays, 48);
+  observed_ = std::make_unique<DemandHistory>(kTrainDays + 1, 48,
+                                              grid().num_regions());
+  for (int d = 0; d < kTrainDays; ++d) {
+    for (int s = 0; s < 48; ++s) {
+      for (int r = 0; r < grid().num_regions(); ++r) {
+        observed_->set(d, s, r, train.at(d, s, r));
+      }
+    }
+  }
+  DemandHistory realized = generator_->RealizedCounts(workload_, 48);
+  for (int s = 0; s < 48; ++s) {
+    for (int r = 0; r < grid().num_regions(); ++r) {
+      observed_->set(eval_day_, s, r, realized.at(0, s, r));
+    }
+  }
+}
+
+std::unique_ptr<DemandPredictor> Experiment::MakePredictor(
+    const std::string& name) {
+  if (name == "HA") return MakeHistoricalAveragePredictor();
+  if (name == "LR") return MakeLinearRegressionPredictor();
+  if (name == "GBRT") return MakeGbrtPredictor();
+  if (name == "DeepST") return MakeDeepStSurrogatePredictor();
+  if (name == "Real") return MakeOraclePredictor();
+  return nullptr;
+}
+
+const DemandForecast* Experiment::ForecastFor(
+    const std::string& predictor_name) {
+  for (const auto& nf : forecasts_) {
+    if (nf.name == predictor_name) return nf.forecast.get();
+  }
+  auto predictor = MakePredictor(predictor_name);
+  if (predictor == nullptr) return nullptr;
+  Status st = predictor->Train(*observed_, grid());
+  if (!st.ok()) {
+    MRVD_LOG(Warn) << predictor_name << " training failed: " << st;
+    return nullptr;
+  }
+  auto fc = DemandForecast::Build(*predictor, *observed_, eval_day_);
+  if (!fc.ok()) {
+    MRVD_LOG(Warn) << predictor_name << " forecast failed: " << fc.status();
+    return nullptr;
+  }
+  forecasts_.push_back(
+      {predictor_name,
+       std::make_unique<DemandForecast>(std::move(fc).value())});
+  return forecasts_.back().forecast.get();
+}
+
+SimResult Experiment::RunApproach(const std::string& name,
+                                  double delta_seconds, double tc_seconds) {
+  SimConfig cfg;
+  cfg.batch_interval = delta_seconds;
+  cfg.window_seconds = tc_seconds;
+
+  const DemandForecast* forecast = nullptr;
+  std::unique_ptr<Dispatcher> dispatcher;
+  if (name == "RAND") {
+    dispatcher = MakeRandomDispatcher(scale_.seed ^ 0xABCD);
+  } else if (name == "NEAR") {
+    dispatcher = MakeNearestDispatcher();
+  } else if (name == "LTG") {
+    dispatcher = MakeLongTripGreedyDispatcher();
+  } else if (name == "IRG-P" || name == "IRG") {
+    dispatcher = MakeIrgDispatcher();
+    forecast = ForecastFor("DeepST");
+  } else if (name == "IRG-R") {
+    dispatcher = MakeIrgDispatcher();
+    forecast = ForecastFor("Real");
+  } else if (name == "LS-P" || name == "LS") {
+    dispatcher = MakeLocalSearchDispatcher();
+    forecast = ForecastFor("DeepST");
+  } else if (name == "LS-R") {
+    dispatcher = MakeLocalSearchDispatcher();
+    forecast = ForecastFor("Real");
+  } else if (name == "SHORT") {
+    dispatcher = MakeShortDispatcher();
+    forecast = ForecastFor("DeepST");
+  } else if (name == "POLAR") {
+    dispatcher = MakePolarDispatcher();
+    forecast = ForecastFor("DeepST");
+  } else if (name == "UPPER") {
+    dispatcher = MakeUpperBoundDispatcher();
+    cfg.zero_pickup_travel = true;
+  } else {
+    MRVD_LOG(Error) << "unknown approach: " << name;
+    return {};
+  }
+
+  Simulator sim(cfg, workload_, grid(), cost_, forecast);
+  return sim.Run(*dispatcher);
+}
+
+SimResult Experiment::RunApproachWithPredictor(const std::string& approach,
+                                               const std::string& predictor,
+                                               double delta_seconds,
+                                               double tc_seconds) {
+  SimConfig cfg;
+  cfg.batch_interval = delta_seconds;
+  cfg.window_seconds = tc_seconds;
+  std::unique_ptr<Dispatcher> dispatcher;
+  if (approach == "IRG") {
+    dispatcher = MakeIrgDispatcher();
+  } else if (approach == "LS") {
+    dispatcher = MakeLocalSearchDispatcher();
+  } else if (approach == "POLAR") {
+    dispatcher = MakePolarDispatcher();
+  } else if (approach == "SHORT") {
+    dispatcher = MakeShortDispatcher();
+  } else {
+    MRVD_LOG(Error) << "unknown prediction-guided approach: " << approach;
+    return {};
+  }
+  Simulator sim(cfg, workload_, grid(), cost_, ForecastFor(predictor));
+  return sim.Run(*dispatcher);
+}
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%-14s", i == 0 ? "" : " | ", columns[i].c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s--------------", i == 0 ? "" : "-+-");
+  }
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%-14s", i == 0 ? "" : " | ", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string FormatRevenue(double revenue) {
+  return StrFormat("%.4fe8", revenue / 1e8);
+}
+
+}  // namespace mrvd::bench

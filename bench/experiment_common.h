@@ -1,0 +1,116 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Each bench binary is a thin parameter sweep over this module. Scale is
+// controlled by environment variables so the default run finishes quickly:
+//   MRVD_SCALE    fraction of the paper's workload (default 0.1)
+//   MRVD_FULL=1   full paper scale (282,255 orders, 1K-8K drivers)
+//   MRVD_TLC_CSV  path to a real TLC yellow-taxi CSV (used instead of the
+//                 synthetic generator when set)
+//   MRVD_SEED     master seed (default 20190417)
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dispatch/dispatchers.h"
+#include "geo/travel.h"
+#include "prediction/forecast.h"
+#include "prediction/predictor.h"
+#include "sim/engine.h"
+#include "workload/generator.h"
+
+namespace mrvd::bench {
+
+/// Resolved experiment scale.
+struct ExperimentScale {
+  double scale = 0.1;
+  uint64_t seed = 20190417;
+  std::string tlc_csv;  ///< empty = synthetic
+
+  /// Scales the order volume from the paper's numbers.
+  double Orders() const { return 282255.0 * scale; }
+
+  /// Scales a fleet size. Trip durations shrink with the city's linear
+  /// dimension (sqrt(scale)), so preserving the paper's demand-to-capacity
+  /// ratio requires drivers to scale as scale^1.5, not scale.
+  int Count(int paper_count) const {
+    return std::max(1, static_cast<int>(paper_count * scale * std::sqrt(scale)));
+  }
+};
+
+/// Reads MRVD_* environment variables.
+ExperimentScale ResolveScale();
+
+/// The paper's default parameters (Table 2, bold values).
+struct PaperDefaults {
+  int num_drivers = 3000;
+  double tau_seconds = 120.0;
+  double delta_seconds = 3.0;
+  double tc_seconds = 20.0 * 60.0;
+};
+
+/// Fully assembled experiment environment.
+class Experiment {
+ public:
+  /// Builds the generator, the evaluation-day workload, the travel-cost
+  /// model and (lazily) trained predictors. `tau` adjusts the base pickup
+  /// waiting time of the generated riders.
+  Experiment(const ExperimentScale& scale, int num_drivers,
+             double tau_seconds);
+
+  const Grid& grid() const { return generator_->grid(); }
+  const Workload& workload() const { return workload_; }
+  const TravelCostModel& cost_model() const { return cost_; }
+  const NycLikeGenerator& generator() const { return *generator_; }
+
+  /// Trains (once) and returns a forecast for the evaluation day under the
+  /// given predictor name: "HA", "LR", "GBRT", "DeepST", or "Real".
+  const DemandForecast* ForecastFor(const std::string& predictor_name);
+
+  /// The observed tensor (training days + evaluation day) and the step at
+  /// which evaluation starts; used by the prediction-accuracy bench.
+  const DemandHistory& observed() const { return *observed_; }
+  int eval_start_step() const { return eval_day_ * 48; }
+  int eval_day() const { return eval_day_; }
+
+  /// Runs one approach over the workload. Recognized names: RAND, NEAR,
+  /// LTG, IRG-P, IRG-R, LS-P, LS-R, SHORT, POLAR, UPPER. "-P" variants use
+  /// the DeepST forecast, "-R" the ground-truth forecast; SHORT and POLAR
+  /// use DeepST.
+  SimResult RunApproach(const std::string& name, double delta_seconds,
+                        double tc_seconds);
+
+  /// Table-4 variant: run `approach` ("IRG", "LS" or "POLAR") with the given
+  /// demand predictor ("HA", "LR", "GBRT", "DeepST", "Real").
+  SimResult RunApproachWithPredictor(const std::string& approach,
+                                     const std::string& predictor,
+                                     double delta_seconds, double tc_seconds);
+
+ private:
+  std::unique_ptr<DemandPredictor> MakePredictor(const std::string& name);
+
+  ExperimentScale scale_;
+  std::unique_ptr<NycLikeGenerator> generator_;
+  Workload workload_;
+  StraightLineCostModel cost_;
+  std::unique_ptr<DemandHistory> observed_;
+  int eval_day_ = 0;
+
+  struct NamedForecast {
+    std::string name;
+    std::unique_ptr<DemandForecast> forecast;
+  };
+  std::vector<NamedForecast> forecasts_;
+};
+
+/// Markdown-ish table printing.
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+
+/// Formats a revenue in the paper's 1e8-style scientific units.
+std::string FormatRevenue(double revenue);
+
+}  // namespace mrvd::bench

@@ -1,0 +1,85 @@
+// Extending the framework with a custom dispatcher.
+//
+// Implements an urgency-aware greedy: riders closest to their pickup
+// deadline are rescued first (ties broken by idle ratio). Demonstrates the
+// public Dispatcher/BatchContext API and compares against IRG on the same
+// workload.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "dispatch/candidates.h"
+#include "dispatch/dispatchers.h"
+#include "geo/travel.h"
+#include "matching/bipartite.h"
+#include "prediction/forecast.h"
+#include "prediction/predictor.h"
+#include "sim/engine.h"
+#include "workload/generator.h"
+
+using namespace mrvd;
+
+namespace {
+
+/// Serve the riders that are about to renege first; among equally urgent
+/// riders prefer destinations with short expected idle (the queueing
+/// signal), i.e. combine deadline pressure with Eq. 17's idle ratio.
+class UrgencyDispatcher final : public Dispatcher {
+ public:
+  std::string name() const override { return "URGENT"; }
+
+  void Dispatch(const BatchContext& ctx, std::vector<Assignment>* out) override {
+    auto pairs = GenerateValidPairs(ctx);
+    std::vector<WeightedPair> weighted;
+    weighted.reserve(pairs.size());
+    for (const auto& c : pairs) {
+      const WaitingRider& r =
+          ctx.riders()[static_cast<size_t>(c.rider_index)];
+      double slack = r.pickup_deadline - ctx.now();  // smaller = more urgent
+      double et = ctx.ExpectedIdleSeconds(r.dropoff_region);
+      double idle_ratio = et / (r.trip_seconds + et);
+      // Urgency dominates; the idle ratio orders riders of similar slack.
+      weighted.push_back(
+          {c.rider_index, c.driver_index, slack + 200.0 * idle_ratio});
+    }
+    for (size_t idx : GreedyMatch(weighted)) {
+      out->push_back({weighted[idx].left, weighted[idx].right});
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  GeneratorConfig cfg;
+  cfg.orders_per_day = 30000;
+  NycLikeGenerator generator(cfg);
+  Workload day = generator.GenerateDay(2, 280);
+
+  DemandHistory realized = generator.RealizedCounts(day, 48);
+  auto oracle = MakeOraclePredictor();
+  auto forecast = DemandForecast::Build(*oracle, realized, 0);
+  if (!forecast.ok()) return 1;
+
+  StraightLineCostModel cost(11.0, 1.3);
+  SimConfig sim_cfg;
+
+  UrgencyDispatcher urgent;
+  auto irg = MakeIrgDispatcher();
+  auto near = MakeNearestDispatcher();
+
+  std::printf("%-8s %12s %10s %10s\n", "approach", "revenue", "served",
+              "svc-rate");
+  for (Dispatcher* d :
+       {static_cast<Dispatcher*>(&urgent), irg.get(), near.get()}) {
+    Simulator sim(sim_cfg, day, generator.grid(), cost, &forecast.value());
+    SimResult r = sim.Run(*d);
+    std::printf("%-8s %12.4e %10lld %9.1f%%\n", d->name().c_str(),
+                r.total_revenue, (long long)r.served_orders,
+                100.0 * r.ServiceRate());
+  }
+  std::printf(
+      "\nThe urgency rule typically serves more orders; IRG earns more\n"
+      "revenue per driver-hour — the trade-off Appendix C formalizes.\n");
+  return 0;
+}

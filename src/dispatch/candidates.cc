@@ -1,0 +1,76 @@
+#include "dispatch/candidates.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrvd {
+
+namespace {
+
+/// Smallest cell dimension in meters (ring distance lower bound unit).
+double MinCellMeters(const Grid& grid) {
+  BoundingBox cell = grid.CellBox(grid.RegionAt(grid.rows() / 2, 0));
+  LatLon c0{cell.lat_min, cell.lon_min};
+  LatLon c_w{cell.lat_min, cell.lon_max};
+  LatLon c_h{cell.lat_max, cell.lon_min};
+  return std::min(EquirectangularMeters(c0, c_w),
+                  EquirectangularMeters(c0, c_h));
+}
+
+template <typename Sink>
+void ForEachValidPair(const BatchContext& ctx, Sink&& sink) {
+  const Grid& grid = ctx.grid();
+  const double min_cell_m = MinCellMeters(grid);
+  const double speed = ctx.cost_model().SpeedMps();
+  const int max_possible_ring = std::max(grid.rows(), grid.cols());
+  const bool region_local =
+      ctx.candidate_mode() == CandidateMode::kRegionLocal;
+
+  for (int ri = 0; ri < static_cast<int>(ctx.riders().size()); ++ri) {
+    const WaitingRider& r = ctx.riders()[static_cast<size_t>(ri)];
+    double budget_seconds = r.pickup_deadline - ctx.now();
+    if (budget_seconds < 0.0) continue;
+    int max_ring = 0;
+    if (!region_local) {
+      // Crow-fly reach (optimistic: ignores detour, so it over-covers).
+      // Drivers at ring g are at least (g-1) * min_cell_m away.
+      double reach_m = budget_seconds * speed;
+      max_ring = std::min(max_possible_ring,
+                          static_cast<int>(reach_m / min_cell_m) + 2);
+    }
+
+    for (int g = 0; g <= max_ring; ++g) {
+      for (RegionId reg : grid.Ring(r.pickup_region, g)) {
+        for (int di : ctx.drivers_by_region()[static_cast<size_t>(reg)]) {
+          const AvailableDriver& d =
+              ctx.drivers()[static_cast<size_t>(di)];
+          double tt = ctx.PickupSeconds(d, r);
+          if (ctx.now() + tt <= r.pickup_deadline) {
+            sink(ri, di, tt);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CandidatePair> GenerateValidPairs(const BatchContext& ctx) {
+  std::vector<CandidatePair> out;
+  ForEachValidPair(ctx, [&](int ri, int di, double tt) {
+    out.push_back({ri, di, tt});
+  });
+  return out;
+}
+
+std::vector<std::vector<CandidatePair>> GenerateValidPairsPerRider(
+    const BatchContext& ctx) {
+  std::vector<std::vector<CandidatePair>> out(ctx.riders().size());
+  ForEachValidPair(ctx, [&](int ri, int di, double tt) {
+    out[static_cast<size_t>(ri)].push_back({ri, di, tt});
+  });
+  return out;
+}
+
+}  // namespace mrvd

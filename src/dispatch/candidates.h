@@ -1,0 +1,27 @@
+// Valid rider-and-driver pair generation (Def. 3). Candidate drivers are
+// found by expanding grid rings around the rider's pickup region until the
+// pickup-deadline bound proves no farther driver can arrive in time.
+#pragma once
+
+#include <vector>
+
+#include "sim/batch.h"
+
+namespace mrvd {
+
+/// One valid pair with its pickup cost.
+struct CandidatePair {
+  int rider_index = -1;
+  int driver_index = -1;
+  double pickup_seconds = 0.0;
+};
+
+/// All valid pairs of the batch. O(sum over riders of drivers within the
+/// deadline-feasible ring radius); the radius shrinks as deadlines tighten.
+std::vector<CandidatePair> GenerateValidPairs(const BatchContext& ctx);
+
+/// Candidate pairs grouped per rider (same contents as GenerateValidPairs).
+std::vector<std::vector<CandidatePair>> GenerateValidPairsPerRider(
+    const BatchContext& ctx);
+
+}  // namespace mrvd

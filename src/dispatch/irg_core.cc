@@ -1,0 +1,79 @@
+#include "dispatch/irg_core.h"
+
+#include <queue>
+
+namespace mrvd {
+
+double ScorePair(const BatchContext& ctx, const WaitingRider& rider,
+                 GreedyObjective objective, int dest_extra_drivers,
+                 double pickup_seconds) {
+  double et = ctx.ExpectedIdleSeconds(rider.dropoff_region,
+                                      dest_extra_drivers);
+  switch (objective) {
+    case GreedyObjective::kIdleRatio:
+      // Eq. 17 plus an epsilon-scale pickup tie-break (see header).
+      return et / (rider.trip_seconds + et) + pickup_seconds * 1e-9;
+    case GreedyObjective::kShortestTotalTime:
+      return rider.trip_seconds + et + pickup_seconds * 1e-6;
+  }
+  return 0.0;
+}
+
+IrgState RunGreedySelection(const BatchContext& ctx,
+                            const std::vector<CandidatePair>& pairs,
+                            GreedyObjective objective) {
+  IrgState state;
+  state.extra_drivers.assign(static_cast<size_t>(ctx.grid().num_regions()),
+                             0);
+  state.rider_used.assign(ctx.riders().size(), false);
+  state.driver_used.assign(ctx.drivers().size(), false);
+
+  struct Entry {
+    double score;
+    int pair_index;
+    int version;  ///< destination-region version at scoring time
+    bool operator>(const Entry& o) const { return score > o.score; }
+  };
+  std::vector<int> region_version(
+      static_cast<size_t>(ctx.grid().num_regions()), 0);
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  for (int i = 0; i < static_cast<int>(pairs.size()); ++i) {
+    const CandidatePair& cp = pairs[static_cast<size_t>(i)];
+    const auto& rider = ctx.riders()[static_cast<size_t>(cp.rider_index)];
+    double s = ScorePair(
+        ctx, rider, objective,
+        state.extra_drivers[static_cast<size_t>(rider.dropoff_region)],
+        cp.pickup_seconds);
+    pq.push({s, i, region_version[static_cast<size_t>(rider.dropoff_region)]});
+  }
+
+  while (!pq.empty()) {
+    Entry e = pq.top();
+    pq.pop();
+    const CandidatePair& cp = pairs[static_cast<size_t>(e.pair_index)];
+    if (state.rider_used[static_cast<size_t>(cp.rider_index)] ||
+        state.driver_used[static_cast<size_t>(cp.driver_index)]) {
+      continue;
+    }
+    const WaitingRider& rider =
+        ctx.riders()[static_cast<size_t>(cp.rider_index)];
+    auto dest = static_cast<size_t>(rider.dropoff_region);
+    if (e.version != region_version[dest]) {
+      // Destination supply changed since scoring; refresh and reinsert.
+      double s = ScorePair(ctx, rider, objective, state.extra_drivers[dest],
+                           cp.pickup_seconds);
+      pq.push({s, e.pair_index, region_version[dest]});
+      continue;
+    }
+    // Accept.
+    state.rider_used[static_cast<size_t>(cp.rider_index)] = true;
+    state.driver_used[static_cast<size_t>(cp.driver_index)] = true;
+    state.assignments.push_back({cp.rider_index, cp.driver_index});
+    ++state.extra_drivers[dest];
+    ++region_version[dest];
+  }
+  return state;
+}
+
+}  // namespace mrvd

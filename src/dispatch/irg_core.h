@@ -1,0 +1,48 @@
+// Shared lazy-greedy core of IRG (Algorithm 2) and SHORT (Appendix C).
+//
+// Both algorithms repeatedly pick the best-scored valid pair, where the
+// score depends on the expected idle time of the destination region — which
+// rises as earlier selections promise more rejoining drivers to that region
+// (line 11 of Algorithm 2). The selection loop uses a lazy priority queue:
+// entries carry the destination region's version; popping a stale entry
+// re-scores and re-inserts it instead of re-sorting everything.
+#pragma once
+
+#include <vector>
+
+#include "dispatch/candidates.h"
+#include "sim/batch.h"
+
+namespace mrvd {
+
+enum class GreedyObjective {
+  /// IRG: minimize IR = ET / (cost + ET)  (Eq. 17).
+  kIdleRatio,
+  /// SHORT: minimize cost + ET (maximizes served orders, Appendix C).
+  kShortestTotalTime,
+};
+
+struct IrgState {
+  std::vector<Assignment> assignments;
+  /// Per-region count of selections whose rider destination is the region
+  /// (the tentative extra rejoining drivers priced into ET).
+  std::vector<int> extra_drivers;
+  /// Which rider/driver context indices are matched.
+  std::vector<char> rider_used;
+  std::vector<char> driver_used;
+};
+
+/// Scores a pair under `objective` given the current tentative supply. The
+/// paper's IR (Eq. 17) depends only on the rider; `pickup_seconds` adds an
+/// infinitesimal tie-break so that among equal-IR pairs the closer driver
+/// is preferred (pure implementation detail: it only reorders exact ties).
+double ScorePair(const BatchContext& ctx, const WaitingRider& rider,
+                 GreedyObjective objective, int dest_extra_drivers,
+                 double pickup_seconds = 0.0);
+
+/// Runs the greedy selection over `pairs` and returns the final state.
+IrgState RunGreedySelection(const BatchContext& ctx,
+                            const std::vector<CandidatePair>& pairs,
+                            GreedyObjective objective);
+
+}  // namespace mrvd

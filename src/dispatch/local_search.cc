@@ -1,0 +1,101 @@
+// LS (Algorithm 3): obtains the IRG assignment, then keeps replacing a
+// driver's rider with a lower-idle-ratio valid alternative until no swap
+// improves (convergence proved in Lemma 5.1; bounded by max_sweeps here).
+#include <vector>
+
+#include "dispatch/dispatchers.h"
+#include "dispatch/irg_core.h"
+
+namespace mrvd {
+
+namespace {
+
+class LocalSearchDispatcher final : public Dispatcher {
+ public:
+  explicit LocalSearchDispatcher(int max_sweeps) : max_sweeps_(max_sweeps) {}
+
+  std::string name() const override { return "LS"; }
+
+  void Dispatch(const BatchContext& ctx, std::vector<Assignment>* out) override {
+    auto pairs = GenerateValidPairs(ctx);
+    IrgState state =
+        RunGreedySelection(ctx, pairs, GreedyObjective::kIdleRatio);
+
+    // Per-driver candidate lists R_j: valid riders for each matched driver.
+    std::vector<std::vector<const CandidatePair*>> by_driver(
+        ctx.drivers().size());
+    for (const auto& cp : pairs) {
+      by_driver[static_cast<size_t>(cp.driver_index)].push_back(&cp);
+    }
+
+    // driver -> index into state.assignments (only matched drivers).
+    std::vector<int> driver_slot(ctx.drivers().size(), -1);
+    for (int i = 0; i < static_cast<int>(state.assignments.size()); ++i) {
+      driver_slot[static_cast<size_t>(
+          state.assignments[static_cast<size_t>(i)].driver_index)] = i;
+    }
+
+    auto ir = [&](int rider_index) {
+      const WaitingRider& r =
+          ctx.riders()[static_cast<size_t>(rider_index)];
+      return ScorePair(
+          ctx, r, GreedyObjective::kIdleRatio,
+          state.extra_drivers[static_cast<size_t>(r.dropoff_region)]);
+    };
+
+    bool changed = true;
+    for (int sweep = 0; sweep < max_sweeps_ && changed; ++sweep) {
+      changed = false;
+      for (auto& a : state.assignments) {
+        double current_ir = ir(a.rider_index);
+        int best_rider = -1;
+        double best_ir = current_ir;
+        for (const CandidatePair* cp :
+             by_driver[static_cast<size_t>(a.driver_index)]) {
+          if (cp->rider_index == a.rider_index) continue;
+          if (state.rider_used[static_cast<size_t>(cp->rider_index)]) continue;
+          // Score the replacement as if the current rider were released:
+          // if both end in the same region the net supply change is zero.
+          const WaitingRider& cand =
+              ctx.riders()[static_cast<size_t>(cp->rider_index)];
+          const WaitingRider& cur =
+              ctx.riders()[static_cast<size_t>(a.rider_index)];
+          int extra =
+              state.extra_drivers[static_cast<size_t>(cand.dropoff_region)];
+          if (cand.dropoff_region == cur.dropoff_region) extra -= 1;
+          double cand_ir = ScorePair(ctx, cand,
+                                     GreedyObjective::kIdleRatio,
+                                     extra < 0 ? 0 : extra);
+          if (cand_ir < best_ir) {
+            best_ir = cand_ir;
+            best_rider = cp->rider_index;
+          }
+        }
+        if (best_rider >= 0) {
+          const WaitingRider& old_r =
+              ctx.riders()[static_cast<size_t>(a.rider_index)];
+          const WaitingRider& new_r =
+              ctx.riders()[static_cast<size_t>(best_rider)];
+          state.rider_used[static_cast<size_t>(a.rider_index)] = false;
+          state.rider_used[static_cast<size_t>(best_rider)] = true;
+          --state.extra_drivers[static_cast<size_t>(old_r.dropoff_region)];
+          ++state.extra_drivers[static_cast<size_t>(new_r.dropoff_region)];
+          a.rider_index = best_rider;
+          changed = true;
+        }
+      }
+    }
+    *out = std::move(state.assignments);
+  }
+
+ private:
+  int max_sweeps_;
+};
+
+}  // namespace
+
+std::unique_ptr<Dispatcher> MakeLocalSearchDispatcher(int max_sweeps) {
+  return std::make_unique<LocalSearchDispatcher>(max_sweeps);
+}
+
+}  // namespace mrvd

@@ -1,0 +1,9 @@
+#include "geo/travel.h"
+
+namespace mrvd {
+
+double TravelCostModel::TravelMeters(const LatLon& from, const LatLon& to) const {
+  return TravelSeconds(from, to) * SpeedMps();
+}
+
+}  // namespace mrvd

@@ -1,0 +1,139 @@
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrvd {
+
+namespace {
+
+/// Internal sentinel standing in for forbidden pairs during the solve; large
+/// enough to never be preferred, small enough to leave arithmetic headroom.
+constexpr double kBigCost = 1e15;
+
+/// Classic potentials algorithm (e-maxx formulation), requires n <= m.
+/// a is 1-indexed (n+1) x (m+1) internally.
+AssignmentResult SolveTransposedIfNeeded(const std::vector<double>& cost,
+                                         int rows, int cols) {
+  bool transposed = rows > cols;
+  int n = transposed ? cols : rows;
+  int m = transposed ? rows : cols;
+  auto at = [&](int i, int j) -> double {
+    double c = transposed ? cost[static_cast<size_t>(j) * cols + i]
+                          : cost[static_cast<size_t>(i) * cols + j];
+    return c == kForbiddenCost ? kBigCost : c;
+  };
+
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(m) + 1, 0.0);
+  std::vector<int> p(static_cast<size_t>(m) + 1, 0);    // row matched to col j
+  std::vector<int> way(static_cast<size_t>(m) + 1, 0);  // augmenting trail
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(m) + 1, kBigCost * 2);
+    std::vector<char> used(static_cast<size_t>(m) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      int i0 = p[static_cast<size_t>(j0)];
+      double delta = kBigCost * 2;
+      int j1 = 0;
+      for (int j = 1; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        double cur = at(i0 - 1, j - 1) - u[static_cast<size_t>(i0)] -
+                     v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(p[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<size_t>(j0)] != 0);
+    do {
+      int j1 = way[static_cast<size_t>(j0)];
+      p[static_cast<size_t>(j0)] = p[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.row_to_col.assign(static_cast<size_t>(rows), -1);
+  result.col_to_row.assign(static_cast<size_t>(cols), -1);
+  for (int j = 1; j <= m; ++j) {
+    int i = p[static_cast<size_t>(j)];
+    if (i == 0) continue;
+    // Strip assignments that used a forbidden pair.
+    if (at(i - 1, j - 1) >= kBigCost / 2) continue;
+    int row = transposed ? j - 1 : i - 1;
+    int col = transposed ? i - 1 : j - 1;
+    result.row_to_col[static_cast<size_t>(row)] = col;
+    result.col_to_row[static_cast<size_t>(col)] = row;
+    result.total_cost += cost[static_cast<size_t>(row) * cols + col];
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<AssignmentResult> SolveMinCostAssignment(
+    const std::vector<double>& cost, int rows, int cols) {
+  if (rows <= 0 || cols <= 0 ||
+      static_cast<int64_t>(cost.size()) !=
+          static_cast<int64_t>(rows) * cols) {
+    return Status::InvalidArgument("assignment: dimension mismatch");
+  }
+  for (double c : cost) {
+    if (c != kForbiddenCost && (!std::isfinite(c) || std::fabs(c) >= kBigCost)) {
+      return Status::InvalidArgument(
+          "assignment: costs must be finite and |c| < 1e15, or kForbiddenCost");
+    }
+  }
+  return SolveTransposedIfNeeded(cost, rows, cols);
+}
+
+StatusOr<AssignmentResult> SolveMaxWeightAssignment(
+    const std::vector<double>& weight, int rows, int cols) {
+  if (rows <= 0 || cols <= 0 ||
+      static_cast<int64_t>(weight.size()) !=
+          static_cast<int64_t>(rows) * cols) {
+    return Status::InvalidArgument("assignment: dimension mismatch");
+  }
+  double max_w = 0.0;
+  for (double w : weight) {
+    if (w == kForbiddenCost) continue;
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument(
+          "max-weight assignment: weights must be finite and >= 0");
+    }
+    max_w = std::max(max_w, w);
+  }
+  std::vector<double> cost(weight.size());
+  for (size_t i = 0; i < weight.size(); ++i) {
+    cost[i] = weight[i] == kForbiddenCost ? kForbiddenCost : max_w - weight[i];
+  }
+  auto result = SolveMinCostAssignment(cost, rows, cols);
+  MRVD_RETURN_NOT_OK(result.status());
+  // Recompute the total in weight space.
+  double total = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    int c = result->row_to_col[static_cast<size_t>(r)];
+    if (c >= 0) total += weight[static_cast<size_t>(r) * cols + c];
+  }
+  result->total_cost = total;
+  return result;
+}
+
+}  // namespace mrvd

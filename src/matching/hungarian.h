@@ -1,0 +1,40 @@
+// Dense assignment solver (Hungarian / Jonker–Volgenant potentials, O(n^3)).
+// Used by POLAR's offline blueprint to match predicted per-region supply to
+// predicted demand at minimum expected cost.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mrvd {
+
+/// Result of an assignment solve.
+struct AssignmentResult {
+  /// col assigned to each row (-1 = unassigned; only possible when
+  /// rows > cols).
+  std::vector<int> row_to_col;
+  std::vector<int> col_to_row;  ///< inverse mapping (-1 = free column)
+  double total_cost = 0.0;
+};
+
+/// Infinite cost marker: the pair is forbidden.
+inline constexpr double kForbiddenCost = std::numeric_limits<double>::max();
+
+/// Solves min-cost perfect-on-the-smaller-side assignment for a dense
+/// rows x cols cost matrix (row-major). Costs must be finite or
+/// kForbiddenCost. If the smaller side cannot be perfectly matched through
+/// allowed pairs, forbidden pairs are left unassigned in the output rather
+/// than matched (they are internally priced just below overflow and then
+/// stripped).
+StatusOr<AssignmentResult> SolveMinCostAssignment(
+    const std::vector<double>& cost, int rows, int cols);
+
+/// Convenience: maximize total weight instead (weights >= 0;
+/// kForbiddenCost still means forbidden).
+StatusOr<AssignmentResult> SolveMaxWeightAssignment(
+    const std::vector<double>& weight, int rows, int cols);
+
+}  // namespace mrvd

@@ -1,0 +1,249 @@
+#include "prediction/gbrt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace mrvd {
+
+namespace {
+
+/// Per-feature quantile bin edges. Values <= edges[i] fall in bin i;
+/// the last bin is open.
+struct BinningScheme {
+  int max_bins;
+  std::vector<std::vector<double>> edges;  // per feature, sorted
+
+  int BinOf(int feature, double v) const {
+    const auto& e = edges[static_cast<size_t>(feature)];
+    return static_cast<int>(std::lower_bound(e.begin(), e.end(), v) -
+                            e.begin());
+  }
+  int NumBins(int feature) const {
+    return static_cast<int>(edges[static_cast<size_t>(feature)].size()) + 1;
+  }
+};
+
+BinningScheme BuildBins(const std::vector<double>& x, int rows, int cols,
+                        int max_bins, Rng& rng) {
+  BinningScheme scheme;
+  scheme.max_bins = max_bins;
+  scheme.edges.resize(static_cast<size_t>(cols));
+  // Sample up to 20k rows for the quantile sketch.
+  int sample = std::min(rows, 20000);
+  std::vector<int> idx(static_cast<size_t>(rows));
+  std::iota(idx.begin(), idx.end(), 0);
+  if (rows > sample) rng.Shuffle(idx);
+
+  std::vector<double> vals;
+  for (int f = 0; f < cols; ++f) {
+    vals.clear();
+    for (int i = 0; i < sample; ++i) {
+      vals.push_back(x[static_cast<size_t>(idx[static_cast<size_t>(i)]) *
+                           cols +
+                       f]);
+    }
+    std::sort(vals.begin(), vals.end());
+    auto& edges = scheme.edges[static_cast<size_t>(f)];
+    for (int b = 1; b < max_bins; ++b) {
+      double q = static_cast<double>(b) / max_bins;
+      double v = vals[static_cast<size_t>(q * (vals.size() - 1))];
+      if (edges.empty() || v > edges.back()) edges.push_back(v);
+    }
+  }
+  return scheme;
+}
+
+}  // namespace
+
+/// Trainer with access to GbrtRegressor internals.
+class GbrtTrainer {
+ public:
+  static StatusOr<GbrtRegressor> Fit(const std::vector<double>& x, int rows,
+                                     int cols, const std::vector<double>& y,
+                                     const GbrtRegressorOptions& opt) {
+    if (rows <= 0 || cols <= 0 ||
+        static_cast<int>(x.size()) != rows * cols ||
+        static_cast<int>(y.size()) != rows) {
+      return Status::InvalidArgument("GBRT: dimension mismatch");
+    }
+    GbrtRegressor model;
+    model.cols_ = cols;
+    model.learning_rate_ = opt.learning_rate;
+    model.base_ =
+        std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(rows);
+
+    Rng rng(opt.seed);
+    BinningScheme bins = BuildBins(x, rows, cols, opt.max_bins, rng);
+
+    // Pre-bin the whole matrix once.
+    std::vector<uint8_t> binned(static_cast<size_t>(rows) * cols);
+    for (int r = 0; r < rows; ++r) {
+      for (int f = 0; f < cols; ++f) {
+        binned[static_cast<size_t>(r) * cols + f] = static_cast<uint8_t>(
+            bins.BinOf(f, x[static_cast<size_t>(r) * cols + f]));
+      }
+    }
+
+    std::vector<double> residual(y);
+    for (int r = 0; r < rows; ++r) residual[static_cast<size_t>(r)] -= model.base_;
+
+    std::vector<int> all_rows(static_cast<size_t>(rows));
+    std::iota(all_rows.begin(), all_rows.end(), 0);
+
+    for (int t = 0; t < opt.num_trees; ++t) {
+      // Stochastic subsample.
+      std::vector<int> tree_rows;
+      if (opt.subsample < 1.0) {
+        tree_rows.reserve(static_cast<size_t>(rows * opt.subsample));
+        for (int r = 0; r < rows; ++r) {
+          if (rng.Bernoulli(opt.subsample)) tree_rows.push_back(r);
+        }
+        if (tree_rows.empty()) tree_rows = all_rows;
+      } else {
+        tree_rows = all_rows;
+      }
+
+      GbrtRegressor::Tree tree;
+      BuildNode(binned, cols, bins, residual, tree_rows, 0, opt, &tree);
+      // Update residuals with the shrunken tree predictions over ALL rows.
+      for (int r = 0; r < rows; ++r) {
+        double pred = PredictTreeBinned(tree, &binned[static_cast<size_t>(r) * cols]);
+        residual[static_cast<size_t>(r)] -= opt.learning_rate * pred;
+      }
+      // Convert bin thresholds to raw-value thresholds for inference.
+      for (auto& node : tree) {
+        if (node.feature >= 0) {
+          const auto& edges = bins.edges[static_cast<size_t>(node.feature)];
+          int b = static_cast<int>(node.threshold);
+          // Split "bin <= b" -> raw "value <= edges[b]" (edges[b] is the
+          // upper boundary of bin b). b is always < edges.size() by
+          // construction of candidate splits.
+          node.threshold = edges[static_cast<size_t>(b)];
+        }
+      }
+      model.trees_.push_back(std::move(tree));
+    }
+    return model;
+  }
+
+ private:
+  /// Recursively grows one node; returns its index in `tree`.
+  static int BuildNode(const std::vector<uint8_t>& binned, int cols,
+                       const BinningScheme& bins,
+                       const std::vector<double>& residual,
+                       const std::vector<int>& node_rows, int depth,
+                       const GbrtRegressorOptions& opt,
+                       GbrtRegressor::Tree* tree) {
+    double sum = 0.0;
+    for (int r : node_rows) sum += residual[static_cast<size_t>(r)];
+    double mean = node_rows.empty()
+                      ? 0.0
+                      : sum / static_cast<double>(node_rows.size());
+
+    int node_index = static_cast<int>(tree->size());
+    tree->push_back({});
+    (*tree)[static_cast<size_t>(node_index)].value = mean;
+
+    if (depth >= opt.max_depth ||
+        static_cast<int>(node_rows.size()) < 2 * opt.min_samples_leaf) {
+      return node_index;
+    }
+
+    // Histogram split search: for each feature, accumulate per-bin count and
+    // residual sum, then scan split points left to right.
+    double best_gain = 1e-12;
+    int best_feature = -1, best_bin = -1;
+    const auto n = static_cast<double>(node_rows.size());
+    std::vector<double> bin_sum;
+    std::vector<int> bin_cnt;
+    for (int f = 0; f < cols; ++f) {
+      int nb = bins.NumBins(f);
+      if (nb < 2) continue;
+      bin_sum.assign(static_cast<size_t>(nb), 0.0);
+      bin_cnt.assign(static_cast<size_t>(nb), 0);
+      for (int r : node_rows) {
+        uint8_t b = binned[static_cast<size_t>(r) * cols + f];
+        bin_sum[b] += residual[static_cast<size_t>(r)];
+        ++bin_cnt[b];
+      }
+      double left_sum = 0.0;
+      int left_cnt = 0;
+      for (int b = 0; b < nb - 1; ++b) {
+        left_sum += bin_sum[static_cast<size_t>(b)];
+        left_cnt += bin_cnt[static_cast<size_t>(b)];
+        int right_cnt = static_cast<int>(node_rows.size()) - left_cnt;
+        if (left_cnt < opt.min_samples_leaf || right_cnt < opt.min_samples_leaf)
+          continue;
+        double right_sum = sum - left_sum;
+        // Variance-reduction gain (up to constants):
+        // left_sum^2/left_cnt + right_sum^2/right_cnt - sum^2/n.
+        double gain = left_sum * left_sum / left_cnt +
+                      right_sum * right_sum / right_cnt - sum * sum / n;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_bin = b;
+        }
+      }
+    }
+    if (best_feature < 0) return node_index;
+
+    std::vector<int> left_rows, right_rows;
+    for (int r : node_rows) {
+      if (binned[static_cast<size_t>(r) * cols + best_feature] <=
+          static_cast<uint8_t>(best_bin)) {
+        left_rows.push_back(r);
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    (*tree)[static_cast<size_t>(node_index)].feature = best_feature;
+    (*tree)[static_cast<size_t>(node_index)].threshold =
+        static_cast<double>(best_bin);  // converted to raw value post-build
+    int left = BuildNode(binned, cols, bins, residual, left_rows, depth + 1,
+                         opt, tree);
+    int right = BuildNode(binned, cols, bins, residual, right_rows, depth + 1,
+                          opt, tree);
+    (*tree)[static_cast<size_t>(node_index)].left = left;
+    (*tree)[static_cast<size_t>(node_index)].right = right;
+    return node_index;
+  }
+
+  /// Tree traversal on binned rows (thresholds still in bin space).
+  static double PredictTreeBinned(const GbrtRegressor::Tree& tree,
+                                  const uint8_t* row) {
+    int idx = 0;
+    while (tree[static_cast<size_t>(idx)].feature >= 0) {
+      const auto& node = tree[static_cast<size_t>(idx)];
+      idx = row[node.feature] <= static_cast<uint8_t>(node.threshold)
+                ? node.left
+                : node.right;
+    }
+    return tree[static_cast<size_t>(idx)].value;
+  }
+};
+
+StatusOr<GbrtRegressor> GbrtRegressor::Fit(const std::vector<double>& x,
+                                           int rows, int cols,
+                                           const std::vector<double>& y,
+                                           const GbrtRegressorOptions& options) {
+  return GbrtTrainer::Fit(x, rows, cols, y, options);
+}
+
+double GbrtRegressor::Predict(const double* row) const {
+  double v = base_;
+  for (const auto& tree : trees_) {
+    int idx = 0;
+    while (tree[static_cast<size_t>(idx)].feature >= 0) {
+      const auto& node = tree[static_cast<size_t>(idx)];
+      idx = row[node.feature] <= node.threshold ? node.left : node.right;
+    }
+    v += learning_rate_ * tree[static_cast<size_t>(idx)].value;
+  }
+  return v;
+}
+
+}  // namespace mrvd

@@ -1,0 +1,62 @@
+// Gradient-Boosted Regression Trees (Friedman 2002) on generic dense
+// feature rows — the paper's GBRT demand baseline (Appendix A). Histogram
+// split finding with quantile bins; squared loss.
+//
+// Exposed separately from the DemandPredictor wrapper so tests and other
+// modules can fit boosted trees on arbitrary regression problems.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mrvd {
+
+struct GbrtRegressorOptions {
+  int num_trees = 80;
+  int max_depth = 3;
+  double learning_rate = 0.1;
+  int max_bins = 32;
+  int min_samples_leaf = 20;
+  /// Row subsample fraction per tree (stochastic gradient boosting).
+  double subsample = 0.8;
+  uint64_t seed = 17;
+};
+
+/// A fitted GBRT ensemble.
+class GbrtRegressor {
+ public:
+  /// Fits on `rows` x `cols` row-major features and targets y.
+  static StatusOr<GbrtRegressor> Fit(const std::vector<double>& x, int rows,
+                                     int cols, const std::vector<double>& y,
+                                     const GbrtRegressorOptions& options = {});
+
+  /// Predicts one feature row (length cols).
+  double Predict(const double* row) const;
+  double Predict(const std::vector<double>& row) const {
+    return Predict(row.data());
+  }
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 = leaf
+    double threshold = 0.0; ///< go left if x[feature] <= threshold
+    int left = -1, right = -1;
+    double value = 0.0;     ///< leaf output
+  };
+  using Tree = std::vector<Node>;
+
+  GbrtRegressor() = default;
+
+  double base_ = 0.0;
+  double learning_rate_ = 0.1;
+  std::vector<Tree> trees_;
+  int cols_ = 0;
+
+  friend class GbrtTrainer;
+};
+
+}  // namespace mrvd

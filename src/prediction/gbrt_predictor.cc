@@ -1,0 +1,90 @@
+// DemandPredictor wrapper around GbrtRegressor (Appendix A baseline).
+#include <algorithm>
+#include <cmath>
+
+#include "prediction/gbrt.h"
+#include "prediction/predictor.h"
+#include "util/rng.h"
+
+namespace mrvd {
+
+namespace {
+
+class GbrtPredictor final : public DemandPredictor {
+ public:
+  explicit GbrtPredictor(const GbrtOptions& options) : opt_(options) {}
+
+  std::string name() const override { return "GBRT"; }
+
+  Status Train(const DemandHistory& history, const Grid& grid) override {
+    slots_per_day_ = history.slots_per_day();
+    std::vector<double> x, y, feat;
+    Rng rng(opt_.seed);
+    // Reservoir-free subsampling: decide a keep probability from the total
+    // row count so memory stays bounded on big histories.
+    int64_t total_rows =
+        static_cast<int64_t>(history.num_steps() - opt_.lags) *
+        history.num_regions();
+    double keep = opt_.max_train_rows > 0 && total_rows > opt_.max_train_rows
+                      ? static_cast<double>(opt_.max_train_rows) /
+                            static_cast<double>(total_rows)
+                      : 1.0;
+    for (int step = opt_.lags; step < history.num_steps(); ++step) {
+      for (int r = 0; r < history.num_regions(); ++r) {
+        if (keep < 1.0 && !rng.Bernoulli(keep)) continue;
+        BuildFeatures(history, step, r, &feat);
+        x.insert(x.end(), feat.begin(), feat.end());
+        y.push_back(history.at_step(step, r));
+      }
+    }
+    if (y.size() < 100) {
+      return Status::FailedPrecondition("GBRT: not enough training rows");
+    }
+    GbrtRegressorOptions ropt;
+    ropt.num_trees = opt_.num_trees;
+    ropt.max_depth = opt_.max_depth;
+    ropt.learning_rate = opt_.learning_rate;
+    ropt.max_bins = opt_.max_bins;
+    ropt.seed = opt_.seed;
+    auto model = GbrtRegressor::Fit(x, static_cast<int>(y.size()),
+                                    static_cast<int>(feat.size()), y, ropt);
+    MRVD_RETURN_NOT_OK(model.status());
+    model_ = std::make_unique<GbrtRegressor>(std::move(model).value());
+    return Status::OK();
+  }
+
+  double PredictStep(const DemandHistory& observed, int step,
+                     int region) const override {
+    if (model_ == nullptr) return 0.0;
+    std::vector<double> feat;
+    BuildFeatures(observed, step, region, &feat);
+    return std::max(0.0, model_->Predict(feat));
+  }
+
+ private:
+  void BuildFeatures(const DemandHistory& h, int step, int region,
+                     std::vector<double>* out) const {
+    out->clear();
+    for (int k = 1; k <= opt_.lags; ++k) {
+      int s = step - k;
+      out->push_back(s >= 0 ? h.at_step(s, region) : 0.0);
+    }
+    int slot = step % slots_per_day_;
+    double phase = 2.0 * M_PI * slot / slots_per_day_;
+    out->push_back(std::sin(phase));
+    out->push_back(std::cos(phase));
+    out->push_back((step / slots_per_day_) % 7 >= 5 ? 1.0 : 0.0);
+  }
+
+  GbrtOptions opt_;
+  int slots_per_day_ = 48;
+  std::unique_ptr<GbrtRegressor> model_;
+};
+
+}  // namespace
+
+std::unique_ptr<DemandPredictor> MakeGbrtPredictor(const GbrtOptions& options) {
+  return std::make_unique<GbrtPredictor>(options);
+}
+
+}  // namespace mrvd

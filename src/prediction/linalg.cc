@@ -1,0 +1,86 @@
+#include "prediction/linalg.h"
+
+#include <cmath>
+
+namespace mrvd {
+
+StatusOr<std::vector<double>> CholeskySolve(std::vector<double> a, int n,
+                                            std::vector<double> b,
+                                            double ridge) {
+  if (static_cast<int>(a.size()) != n * n ||
+      static_cast<int>(b.size()) != n) {
+    return Status::InvalidArgument("CholeskySolve: dimension mismatch");
+  }
+  for (int i = 0; i < n; ++i) a[static_cast<size_t>(i) * n + i] += ridge;
+
+  // In-place lower Cholesky.
+  for (int j = 0; j < n; ++j) {
+    double diag = a[static_cast<size_t>(j) * n + j];
+    for (int k = 0; k < j; ++k) {
+      double l = a[static_cast<size_t>(j) * n + k];
+      diag -= l * l;
+    }
+    if (diag <= 0.0) {
+      return Status::FailedPrecondition(
+          "CholeskySolve: matrix not positive definite (increase ridge)");
+    }
+    diag = std::sqrt(diag);
+    a[static_cast<size_t>(j) * n + j] = diag;
+    for (int i = j + 1; i < n; ++i) {
+      double v = a[static_cast<size_t>(i) * n + j];
+      for (int k = 0; k < j; ++k) {
+        v -= a[static_cast<size_t>(i) * n + k] *
+             a[static_cast<size_t>(j) * n + k];
+      }
+      a[static_cast<size_t>(i) * n + j] = v / diag;
+    }
+  }
+
+  // Forward substitution: L z = b.
+  for (int i = 0; i < n; ++i) {
+    double v = b[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) {
+      v -= a[static_cast<size_t>(i) * n + k] * b[static_cast<size_t>(k)];
+    }
+    b[static_cast<size_t>(i)] = v / a[static_cast<size_t>(i) * n + i];
+  }
+  // Back substitution: L^T x = z.
+  for (int i = n - 1; i >= 0; --i) {
+    double v = b[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k) {
+      v -= a[static_cast<size_t>(k) * n + i] * b[static_cast<size_t>(k)];
+    }
+    b[static_cast<size_t>(i)] = v / a[static_cast<size_t>(i) * n + i];
+  }
+  return b;
+}
+
+StatusOr<std::vector<double>> RidgeFit(const std::vector<double>& x, int rows,
+                                       int cols, const std::vector<double>& y,
+                                       double ridge) {
+  if (static_cast<int>(x.size()) != rows * cols ||
+      static_cast<int>(y.size()) != rows) {
+    return Status::InvalidArgument("RidgeFit: dimension mismatch");
+  }
+  std::vector<double> xtx(static_cast<size_t>(cols) * cols, 0.0);
+  std::vector<double> xty(static_cast<size_t>(cols), 0.0);
+  for (int r = 0; r < rows; ++r) {
+    const double* row = &x[static_cast<size_t>(r) * cols];
+    for (int i = 0; i < cols; ++i) {
+      xty[static_cast<size_t>(i)] += row[i] * y[static_cast<size_t>(r)];
+      for (int j = i; j < cols; ++j) {
+        xtx[static_cast<size_t>(i) * cols + j] += row[i] * row[j];
+      }
+    }
+  }
+  // Mirror the upper triangle.
+  for (int i = 0; i < cols; ++i) {
+    for (int j = 0; j < i; ++j) {
+      xtx[static_cast<size_t>(i) * cols + j] =
+          xtx[static_cast<size_t>(j) * cols + i];
+    }
+  }
+  return CholeskySolve(std::move(xtx), cols, std::move(xty), ridge);
+}
+
+}  // namespace mrvd

@@ -1,0 +1,25 @@
+// Small dense linear algebra for the regression predictors: symmetric
+// positive-definite solves via Cholesky (normal equations / ridge).
+#pragma once
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace mrvd {
+
+/// Row-major dense matrix view helpers operate on std::vector<double>.
+
+/// Solves (A + ridge*I) x = b for symmetric positive semi-definite A
+/// (n x n, row-major) in place via Cholesky. Returns the solution.
+StatusOr<std::vector<double>> CholeskySolve(std::vector<double> a, int n,
+                                            std::vector<double> b,
+                                            double ridge = 0.0);
+
+/// Fits ridge regression y ~ X w (X: rows x cols row-major, intercept must
+/// be included as a constant column by the caller if desired).
+StatusOr<std::vector<double>> RidgeFit(const std::vector<double>& x, int rows,
+                                       int cols, const std::vector<double>& y,
+                                       double ridge);
+
+}  // namespace mrvd

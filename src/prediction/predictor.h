@@ -1,0 +1,89 @@
+// Demand-prediction substrate (§3.1.1, Appendix A).
+//
+// A DemandPredictor is trained offline on a multi-day DemandHistory and then
+// asked, for any global step (day*slots_per_day + slot) of a tensor that
+// also contains the evaluation days, to predict the order count of a region
+// in that step *using only counts from earlier steps*. The oracle ("Real")
+// predictor deliberately breaks that rule — it reproduces the paper's
+// IRG-R/LS-R variants that consume ground-truth demand.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/grid.h"
+#include "util/status.h"
+#include "workload/demand_history.h"
+
+namespace mrvd {
+
+/// Number of lag slots used by HA/LR/GBRT (the paper's Appendix A uses the
+/// previous 15 time slots).
+inline constexpr int kDefaultLags = 15;
+
+class DemandPredictor {
+ public:
+  virtual ~DemandPredictor() = default;
+
+  /// Short name for tables ("HA", "LR", "GBRT", "DeepST", "Real").
+  virtual std::string name() const = 0;
+
+  /// Fits the model on the training tensor. `grid` supplies the spatial
+  /// adjacency some models use.
+  virtual Status Train(const DemandHistory& history, const Grid& grid) = 0;
+
+  /// Predicts the count for `region` at global step `step` of `observed`
+  /// (which may include evaluation days). Implementations only read steps
+  /// `< step`. `step` must leave enough lag room (callers start evaluation
+  /// after the first day).
+  virtual double PredictStep(const DemandHistory& observed, int step,
+                             int region) const = 0;
+};
+
+/// Factory helpers (defaults match the paper's configurations).
+std::unique_ptr<DemandPredictor> MakeHistoricalAveragePredictor(
+    int lags = kDefaultLags);
+std::unique_ptr<DemandPredictor> MakeLinearRegressionPredictor(
+    int lags = kDefaultLags, double ridge = 1e-3);
+
+struct GbrtOptions {
+  int lags = kDefaultLags;
+  int num_trees = 80;
+  int max_depth = 3;
+  double learning_rate = 0.1;
+  int max_bins = 32;
+  /// Random subsample cap on training rows (0 = use all rows).
+  int64_t max_train_rows = 120000;
+  uint64_t seed = 17;
+};
+std::unique_ptr<DemandPredictor> MakeGbrtPredictor(const GbrtOptions& options = {});
+
+struct DeepStOptions {
+  int closeness_lags = 6;  ///< previous N slots
+  int period_days = 3;     ///< same slot, previous N days
+  int trend_weeks = 2;     ///< same slot, previous N weeks
+  double ridge = 1.0;
+};
+std::unique_ptr<DemandPredictor> MakeDeepStSurrogatePredictor(
+    const DeepStOptions& options = {});
+
+/// Ground-truth oracle ("Real" columns in Tables 4/6).
+std::unique_ptr<DemandPredictor> MakeOraclePredictor();
+
+/// Result row of an accuracy evaluation (Table 6 format).
+struct PredictorEvaluation {
+  std::string name;
+  double rel_rmse_pct = 0.0;  ///< RMSE / mean actual * 100
+  double real_rmse = 0.0;     ///< RMSE in order counts
+  double mae = 0.0;
+  int64_t num_predictions = 0;
+};
+
+/// Evaluates a trained predictor on steps [eval_start_step, end of tensor),
+/// over all regions.
+PredictorEvaluation EvaluatePredictor(const DemandPredictor& predictor,
+                                      const DemandHistory& observed,
+                                      int eval_start_step);
+
+}  // namespace mrvd

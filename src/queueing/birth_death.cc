@@ -1,0 +1,137 @@
+#include "queueing/birth_death.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mrvd {
+
+double RenegingFunction::operator()(int64_t n) const {
+  assert(n >= 1);
+  // e^{beta*n} / mu, as suggested in [25]. Guard the exponent so pathological
+  // beta*n cannot overflow to inf (the chain has negligible mass there
+  // anyway).
+  double ex = std::min(beta_ * static_cast<double>(n), 700.0);
+  return std::exp(ex) / mu_;
+}
+
+StatusOr<BirthDeathChain> BirthDeathChain::Solve(const QueueParams& params) {
+  if (!(params.lambda > 0.0) || !std::isfinite(params.lambda)) {
+    return Status::InvalidArgument("lambda must be positive and finite");
+  }
+  if (!(params.mu > 0.0) || !std::isfinite(params.mu)) {
+    return Status::InvalidArgument("mu must be positive and finite");
+  }
+  if (params.max_drivers < 0) {
+    return Status::InvalidArgument("max_drivers (K) must be >= 0");
+  }
+  if (params.beta < 0.0) {
+    return Status::InvalidArgument("beta must be >= 0");
+  }
+  BirthDeathChain chain;
+  chain.params_ = params;
+  chain.SolveInternal();
+  return chain;
+}
+
+void BirthDeathChain::SolveInternal() {
+  const double lambda = params_.lambda;
+  const double mu = params_.mu;
+  const int64_t K = params_.max_drivers;
+  const RenegingFunction pi(params_.beta, mu);
+
+  // Positive tail: products Π_{i=1}^{n} λ/(μ+π(i))  (Eq. 6). π grows
+  // exponentially (β > 0) or is constant 1/μ (β = 0); in the latter case the
+  // ratio λ/(μ + 1/μ) < 1 is not guaranteed, so cap the tail at a hard
+  // iteration limit with a diminishing-term stop.
+  pos_products_.clear();
+  pos_sum_ = 0.0;
+  {
+    double term = 1.0;
+    for (int64_t n = 1; n <= 200000; ++n) {
+      term *= lambda / (mu + pi(n));
+      if (!(term > 0.0) || !std::isfinite(term)) break;
+      pos_products_.push_back(term);
+      pos_sum_ += term;
+      if (term < pos_sum_ * 1e-14 && n > 4) break;
+    }
+  }
+
+  const double theta = mu / lambda;
+
+  if (theta < 1.0) {
+    // λ > μ (§4.2.1): unbounded negative tail, geometric with ratio θ < 1.
+    neg_sum_ = theta / (1.0 - theta);  // Σ_{i>=1} θ^i  (Eq. 7 rearranged)
+    p0_ = 1.0 / (1.0 + neg_sum_ + pos_sum_);
+    // Eq. 10: ET = λ p0 / (λ - μ)^2.
+    expected_idle_ = lambda * p0_ / ((lambda - mu) * (lambda - mu));
+    return;
+  }
+
+  // λ <= μ (§4.2.2 / §4.2.3): negative states bounded by K. Work with sums
+  // scaled by θ^{-K} so θ^K never overflows:
+  //   B  = θ^{-K} (1 + pos_sum) + Σ_{j=1}^{K} θ^{j-K}
+  //   A  = Σ_{j=0}^{K} (j+1) θ^{j-K}
+  //   p0 = θ^{-K} / B,   ET = A / (λ B).
+  // For θ = 1 this reduces exactly to Eqs. 15/16; for θ > 1 it equals
+  // Eqs. 12/13 evaluated stably.
+  const double log_theta = std::log(theta);
+  auto scaled_pow = [&](int64_t j) {
+    // θ^{j-K}; exponent <= 0, so this is always in (0, 1].
+    return std::exp(static_cast<double>(j - K) * log_theta);
+  };
+  double b_sum = scaled_pow(0) * (1.0 + pos_sum_);
+  double a_sum = scaled_pow(0);  // (0+1) θ^{0-K}
+  for (int64_t j = 1; j <= K; ++j) {
+    double pw = scaled_pow(j);
+    b_sum += pw;
+    a_sum += static_cast<double>(j + 1) * pw;
+  }
+  neg_sum_ = 0.0;  // not used in this regime (kept for λ>μ diagnostics)
+  scaled_norm_b_ = b_sum;
+  p0_ = scaled_pow(0) / b_sum;
+  expected_idle_ = a_sum / (lambda * b_sum);
+}
+
+double BirthDeathChain::StateProbability(int64_t n) const {
+  const double theta = params_.mu / params_.lambda;
+  if (n == 0) return p0_;
+  if (n > 0) {
+    auto idx = static_cast<size_t>(n - 1);
+    if (idx >= pos_products_.size()) return 0.0;
+    return p0_ * pos_products_[idx];
+  }
+  int64_t j = -n;
+  if (theta < 1.0) {
+    return p0_ * std::pow(theta, static_cast<double>(j));
+  }
+  if (j > params_.max_drivers) return 0.0;
+  // Overflow-safe: p_{-j} = p0 θ^j = θ^{j-K} / B (p0 itself may underflow
+  // while states near -K still carry almost all the mass).
+  const double log_theta = std::log(theta);
+  double scaled = std::exp(static_cast<double>(j - params_.max_drivers) *
+                           log_theta);
+  return scaled / scaled_norm_b_;
+}
+
+double BirthDeathChain::ProbabilityRidersWaiting() const {
+  return p0_ * pos_sum_;
+}
+
+double BirthDeathChain::ProbabilityDriversWaiting() const {
+  return std::max(0.0, 1.0 - p0_ * (1.0 + pos_sum_));
+}
+
+double EstimateIdleTimeSeconds(double lambda, double mu, int64_t max_drivers,
+                               double beta, double max_idle_seconds,
+                               double rate_floor) {
+  lambda = std::max(lambda, rate_floor);
+  mu = std::max(mu, rate_floor);
+  max_drivers = std::max<int64_t>(max_drivers, 0);
+  auto chain = BirthDeathChain::Solve(
+      {lambda, mu, std::max(beta, 0.0), max_drivers});
+  if (!chain.ok()) return max_idle_seconds;
+  return std::min(chain->ExpectedIdleSeconds(), max_idle_seconds);
+}
+
+}  // namespace mrvd

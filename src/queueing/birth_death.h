@@ -1,0 +1,107 @@
+// Double-sided queueing model of a single region (§4).
+//
+// State n > 0: n riders waiting for drivers. State n < 0: |n| drivers
+// congested waiting for riders. Birth (rider-arrival) rate is λ for every
+// state; death (service) rate is μ for n <= 0 and μ + π(n) for n > 0, where
+// π(n) = e^{βn}/μ models impatient-rider reneging (Eq. 4, following
+// Shortle et al.). Negative states are bounded by K, the number of drivers
+// that can congest during the scheduling window (§4.2.2).
+//
+// The closed forms implemented here are Eqs. 6-16 of the paper; the
+// discrete-event simulator in queue_sim.h validates them empirically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mrvd {
+
+/// Reneging-rate function π(n) = e^{βn} / μ (suggested practice in [25]).
+/// β is calibrated from historical reneging records of the region; β = 0
+/// gives the constant rate 1/μ, larger β makes long queues shed riders
+/// aggressively.
+class RenegingFunction {
+ public:
+  RenegingFunction(double beta, double mu) : beta_(beta), mu_(mu) {}
+
+  /// π(n) for state n >= 1.
+  double operator()(int64_t n) const;
+
+  double beta() const { return beta_; }
+
+ private:
+  double beta_;
+  double mu_;
+};
+
+/// Parameters of one region's queue during the current scheduling window.
+struct QueueParams {
+  double lambda = 0.0;  ///< rider arrival rate (1/s)
+  double mu = 0.0;      ///< rejoined-driver arrival rate (1/s)
+  double beta = 0.0;    ///< reneging exponent (0 disables growth)
+  int64_t max_drivers = 1;  ///< K: cap on congested drivers (§4.2.2)
+};
+
+/// Solved steady-state model: p0, the state distribution, and the expected
+/// idle time ET(λ, μ) of a driver that rejoins this region's queue.
+class BirthDeathChain {
+ public:
+  /// Validates and solves the chain. λ and μ must be positive and finite; K
+  /// must be >= 0. (Degenerate rates are the caller's job to clamp; see
+  /// EstimateIdleTimeSeconds for a forgiving wrapper.)
+  static StatusOr<BirthDeathChain> Solve(const QueueParams& params);
+
+  const QueueParams& params() const { return params_; }
+
+  /// P[state = 0].
+  double p0() const { return p0_; }
+
+  /// P[state = n]. n may be negative (congested drivers); states below -K
+  /// have probability 0. Positive states use the cached product chain.
+  double StateProbability(int64_t n) const;
+
+  /// Expected idle time (seconds) of an arriving driver: Eq. 10 for λ > μ,
+  /// Eq. 13 for λ < μ, Eq. 16 for λ = μ (the regime is chosen by exact
+  /// comparison after a relative-epsilon equality check).
+  double ExpectedIdleSeconds() const { return expected_idle_; }
+
+  /// Sum over all positive-state probabilities (share of time the region has
+  /// waiting riders); diagnostic for tests.
+  double ProbabilityRidersWaiting() const;
+
+  /// Sum over negative states (share of time drivers congest).
+  double ProbabilityDriversWaiting() const;
+
+  /// Index of the last positive state with non-negligible probability.
+  int64_t positive_tail_length() const {
+    return static_cast<int64_t>(pos_products_.size());
+  }
+
+ private:
+  BirthDeathChain() = default;
+  void SolveInternal();
+
+  QueueParams params_;
+  double p0_ = 0.0;
+  double expected_idle_ = 0.0;
+  /// pos_products_[i] = Π_{j=1}^{i+1} λ/(μ+π(j)), i.e. p_{i+1}/p0 (Eq. 6).
+  std::vector<double> pos_products_;
+  double pos_sum_ = 0.0;  ///< Σ_n>=1 p_n / p0
+  double neg_sum_ = 0.0;  ///< Σ_n<0  p_n / p0 (λ>μ regime only)
+  /// θ>=1 regime: normalizer B with p_{-j} = θ^{j-K}/B (overflow-safe form).
+  double scaled_norm_b_ = 0.0;
+};
+
+/// Forgiving one-shot helper used by the dispatchers: clamps λ and μ to a
+/// small positive floor (an empty region still has *some* chance of an
+/// arrival) and caps the returned idle time at `max_idle_seconds` (a driver
+/// will not wait forever; the platform would reposition him, and unbounded
+/// ET would drown every travel cost in Eq. 17).
+double EstimateIdleTimeSeconds(double lambda, double mu, int64_t max_drivers,
+                               double beta,
+                               double max_idle_seconds = 3600.0,
+                               double rate_floor = 1e-6);
+
+}  // namespace mrvd

@@ -1,0 +1,104 @@
+#include "queueing/queue_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace mrvd {
+
+double QueueSimResult::EmpiricalStateProb(int64_t state) const {
+  int64_t idx = state + state_offset;
+  if (idx < 0 || idx >= static_cast<int64_t>(state_time_share.size()))
+    return 0.0;
+  return state_time_share[static_cast<size_t>(idx)];
+}
+
+QueueSimResult SimulateDoubleSidedQueue(const QueueParams& params,
+                                        double horizon_seconds, Rng& rng,
+                                        double warmup_seconds) {
+  assert(params.lambda > 0.0 && params.mu > 0.0);
+  const RenegingFunction pi(params.beta, params.mu);
+  const int64_t K = params.max_drivers;
+
+  QueueSimResult result;
+  result.state_offset = K;
+  result.state_time_share.assign(static_cast<size_t>(K) + 64, 0.0);
+
+  auto slot = [&](int64_t state) -> double& {
+    int64_t idx = state + K;
+    if (idx >= static_cast<int64_t>(result.state_time_share.size())) {
+      result.state_time_share.resize(static_cast<size_t>(idx) + 32, 0.0);
+    }
+    return result.state_time_share[static_cast<size_t>(idx)];
+  };
+
+  int64_t n = 0;  // current state
+  double now = 0.0;
+  std::deque<double> idle_driver_arrivals;  // FIFO of queued-driver times
+  double idle_sum = 0.0;
+
+  while (now < horizon_seconds) {
+    double renege_rate = n > 0 ? pi(n) : 0.0;
+    double total_rate = params.lambda + params.mu + renege_rate;
+    double dt = rng.Exponential(total_rate);
+    double t_next = now + dt;
+
+    // Attribute the dwell time (post-warmup part only) to the current state.
+    double lo = std::max(now, warmup_seconds);
+    double hi = std::min(t_next, horizon_seconds);
+    if (hi > lo) slot(n) += hi - lo;
+
+    now = t_next;
+    if (now >= horizon_seconds) break;
+    const bool counting = now >= warmup_seconds;
+
+    double u = rng.NextDouble() * total_rate;
+    if (u < params.lambda) {
+      // Rider arrival.
+      if (counting) ++result.riders_arrived;
+      if (n < 0) {
+        // Matched with the longest-waiting driver immediately.
+        assert(!idle_driver_arrivals.empty());
+        double arrived = idle_driver_arrivals.front();
+        idle_driver_arrivals.pop_front();
+        if (counting) {
+          idle_sum += now - arrived;
+          ++result.drivers_matched;
+          ++result.riders_served;
+        }
+      }
+      ++n;
+    } else if (u < params.lambda + params.mu) {
+      // Driver arrival.
+      if (n > 0) {
+        // Serves the head rider with zero idle time.
+        if (counting) {
+          ++result.drivers_matched;
+          ++result.riders_served;
+        }
+        --n;
+      } else if (n > -K) {
+        idle_driver_arrivals.push_back(now);
+        --n;
+      }
+      // else: at the -K bound the extra driver balks (state unchanged).
+    } else {
+      // Renege (only possible when n > 0).
+      if (counting) ++result.riders_reneged;
+      --n;
+    }
+  }
+
+  double measured = horizon_seconds - warmup_seconds;
+  result.total_time = measured;
+  if (measured > 0) {
+    for (auto& s : result.state_time_share) s /= measured;
+  }
+  result.mean_driver_idle =
+      result.drivers_matched > 0
+          ? idle_sum / static_cast<double>(result.drivers_matched)
+          : 0.0;
+  return result;
+}
+
+}  // namespace mrvd

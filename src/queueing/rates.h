@@ -1,0 +1,48 @@
+// Arrival-rate estimation for the current scheduling window (Eqs. 18/19).
+//
+// λ(k) and μ(k) fold the *backlog* of the batch into the rates: if waiting
+// riders outnumber available drivers, the surplus riders are treated as
+// extra arrivals (they will still be in the queue), and symmetrically for
+// surplus drivers.
+#pragma once
+
+#include <cstdint>
+
+namespace mrvd {
+
+/// Inputs for one region a_k at batch time t̄.
+struct RegionSnapshot {
+  int64_t waiting_riders = 0;     ///< |R_k|  (unserved, in-deadline)
+  int64_t available_drivers = 0;  ///< |D_k|
+  double predicted_riders = 0.0;  ///< |R̂_k| over [t̄, t̄+t_c]
+  double predicted_drivers = 0.0; ///< |D̂_k| over [t̄, t̄+t_c] (rejoining)
+};
+
+/// Estimated Poisson rates for the window (per second).
+struct RegionRates {
+  double lambda = 0.0;  ///< rider arrival rate λ(k)
+  double mu = 0.0;      ///< rejoined-driver arrival rate μ(k)
+};
+
+/// Eq. 18 / Eq. 19. `window_seconds` is t_c. Rates are >= 0; callers clamp
+/// to a positive floor before solving the chain (EstimateIdleTimeSeconds
+/// does this internally).
+inline RegionRates EstimateRegionRates(const RegionSnapshot& snap,
+                                       double window_seconds) {
+  RegionRates rates;
+  const double tc = window_seconds;
+  const auto riders = static_cast<double>(snap.waiting_riders);
+  const auto drivers = static_cast<double>(snap.available_drivers);
+  if (snap.waiting_riders <= snap.available_drivers) {
+    rates.lambda = snap.predicted_riders / tc;
+    rates.mu = (snap.predicted_drivers + drivers - riders) / tc;
+  } else {
+    rates.lambda = (snap.predicted_riders + riders - drivers) / tc;
+    rates.mu = snap.predicted_drivers / tc;
+  }
+  if (rates.lambda < 0.0) rates.lambda = 0.0;
+  if (rates.mu < 0.0) rates.mu = 0.0;
+  return rates;
+}
+
+}  // namespace mrvd

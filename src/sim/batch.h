@@ -1,0 +1,147 @@
+// Batch-processing interface between the simulator and the dispatching
+// algorithms (Algorithm 1, line 7). The engine snapshots the platform state
+// every Δ seconds and hands the dispatcher a BatchContext; the dispatcher
+// returns rider-driver assignments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/travel.h"
+#include "queueing/rates.h"
+#include "workload/types.h"
+
+namespace mrvd {
+
+/// A rider waiting in the current batch.
+struct WaitingRider {
+  OrderId order_id = -1;
+  LatLon pickup;
+  LatLon dropoff;
+  double request_time = 0.0;
+  double pickup_deadline = 0.0;
+  double revenue = 0.0;        ///< α * cost(s_i, e_i), precomputed
+  double trip_seconds = 0.0;   ///< cost(s_i, e_i)
+  RegionId pickup_region = kInvalidRegion;
+  RegionId dropoff_region = kInvalidRegion;
+};
+
+/// An available driver in the current batch.
+struct AvailableDriver {
+  DriverId driver_id = -1;
+  LatLon location;
+  RegionId region = kInvalidRegion;
+  double available_since = 0.0;
+};
+
+/// One selected rider-and-driver dispatching pair; indices refer to the
+/// BatchContext's riders()/drivers() arrays.
+struct Assignment {
+  int rider_index = -1;
+  int driver_index = -1;
+};
+
+/// How candidate rider-driver pairs are generated.
+enum class CandidateMode {
+  /// Pairs only within the rider's pickup region (Algorithm 2 lines 3-4:
+  /// valid pairs are retrieved from R_k and D_k of the same region a_k).
+  /// This keeps the region queue model exact: a rejoining driver competes
+  /// only with his region's riders, as §4 assumes.
+  kRegionLocal,
+  /// Ring-expanding cross-region search bounded by the pickup deadline —
+  /// a generalization that admits any Def.-3-valid pair.
+  kRingExpand,
+};
+
+/// Read-mostly snapshot of one batch. The idle-time estimates are cached
+/// per (region, extra-driver count) because IRG/LS/SHORT re-query them as
+/// their tentative selections shift future driver supply (§5.1, line 11).
+class BatchContext {
+ public:
+  BatchContext(double now, double window_seconds, double reneging_beta,
+               const Grid& grid, const TravelCostModel& cost_model,
+               CandidateMode candidate_mode = CandidateMode::kRingExpand);
+
+  CandidateMode candidate_mode() const { return candidate_mode_; }
+
+  double now() const { return now_; }
+  double window_seconds() const { return window_seconds_; }
+  const Grid& grid() const { return grid_; }
+  const TravelCostModel& cost_model() const { return cost_model_; }
+
+  const std::vector<WaitingRider>& riders() const { return riders_; }
+  const std::vector<AvailableDriver>& drivers() const { return drivers_; }
+  /// Indices of available drivers bucketed by current region.
+  const std::vector<std::vector<int>>& drivers_by_region() const {
+    return drivers_by_region_;
+  }
+
+  /// Region demand/supply snapshots (inputs of Eqs. 18/19).
+  const std::vector<RegionSnapshot>& snapshots() const { return snapshots_; }
+
+  /// λ(k), μ(k) for the scheduling window (Eqs. 18/19), with
+  /// `extra_drivers` added to the rejoining-driver count of the region —
+  /// used by the dispatchers to price tentative selections.
+  RegionRates RatesFor(RegionId region, int extra_drivers = 0) const;
+
+  /// Expected idle time ET(λ(k), μ(k)) in seconds for a driver rejoining
+  /// `region`, given `extra_drivers` additional rejoiners (cached).
+  double ExpectedIdleSeconds(RegionId region, int extra_drivers = 0) const;
+
+  /// Travel seconds from a driver's location to a rider's pickup.
+  double PickupSeconds(const AvailableDriver& d, const WaitingRider& r) const {
+    return cost_model_.TravelSeconds(d.location, r.pickup);
+  }
+
+  /// True if driver `d` can reach rider `r`'s pickup before the deadline
+  /// (Def. 3, valid rider-and-driver dispatching pair).
+  bool IsValidPair(const AvailableDriver& d, const WaitingRider& r) const {
+    return now_ + PickupSeconds(d, r) <= r.pickup_deadline;
+  }
+
+  /// Mutable setup API (used by the engine when building the batch).
+  void AddRider(const WaitingRider& r);
+  void AddDriver(const AvailableDriver& d);
+  void SetSnapshots(std::vector<RegionSnapshot> snapshots);
+
+  /// Cap on congested drivers K for region ET queries: available drivers in
+  /// the region now plus predicted rejoiners (at least 1).
+  int64_t MaxDriversFor(RegionId region, int extra_drivers) const;
+
+ private:
+  double now_;
+  double window_seconds_;
+  double reneging_beta_;
+  const Grid& grid_;
+  const TravelCostModel& cost_model_;
+  CandidateMode candidate_mode_;
+
+  std::vector<WaitingRider> riders_;
+  std::vector<AvailableDriver> drivers_;
+  std::vector<std::vector<int>> drivers_by_region_;
+  std::vector<RegionSnapshot> snapshots_;
+
+  /// (region << 20 | extra) -> ET cache.
+  mutable std::unordered_map<int64_t, double> idle_cache_;
+};
+
+/// A batch dispatching algorithm (§5, §6.3).
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  /// Display name ("IRG", "LS", "POLAR", ...).
+  virtual std::string name() const = 0;
+
+  /// Selects the batch's rider-and-driver pairs. Each rider and each driver
+  /// may appear in at most one assignment, and every returned pair must be
+  /// valid per BatchContext::IsValidPair (UPPER is exempt: the engine runs
+  /// it with zero pickup travel).
+  virtual void Dispatch(const BatchContext& ctx,
+                        std::vector<Assignment>* out) = 0;
+};
+
+}  // namespace mrvd

@@ -1,0 +1,57 @@
+// Aggregated outcome of one simulated day (the quantities reported in the
+// paper's evaluation: total revenue, served orders, batch running time,
+// idle-time estimation accuracy).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/metrics.h"
+
+namespace mrvd {
+
+/// Per-region idle-time aggregates (Figure 6).
+struct RegionIdleStats {
+  double predicted_sum = 0.0;
+  double real_sum = 0.0;
+  int64_t count = 0;
+
+  double MeanPredicted() const {
+    return count == 0 ? 0.0 : predicted_sum / static_cast<double>(count);
+  }
+  double MeanReal() const {
+    return count == 0 ? 0.0 : real_sum / static_cast<double>(count);
+  }
+};
+
+struct SimResult {
+  std::string dispatcher;
+
+  // Revenue & service (Figures 7-10, 13).
+  double total_revenue = 0.0;
+  int64_t served_orders = 0;
+  int64_t reneged_orders = 0;
+  int64_t total_orders = 0;
+
+  // Batch processing (Figures 7b-10b).
+  int64_t num_batches = 0;
+  RunningStats batch_seconds;
+
+  // Idle-time estimation study (Table 3, Figure 6).
+  ErrorStats idle_error;                    ///< (estimated, real) pairs
+  std::vector<RegionIdleStats> region_idle; ///< indexed by region
+
+  // Extra diagnostics.
+  RunningStats served_wait_seconds;  ///< request -> assignment wait
+  RunningStats driver_idle_seconds;  ///< realized idle gaps
+
+  double ServiceRate() const {
+    return total_orders == 0
+               ? 0.0
+               : static_cast<double>(served_orders) /
+                     static_cast<double>(total_orders);
+  }
+};
+
+}  // namespace mrvd

@@ -1,0 +1,120 @@
+#include "stats/chi_square.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/distributions.h"
+#include "util/strings.h"
+
+namespace mrvd {
+
+std::string ChiSquareResult::ToString() const {
+  return StrFormat(
+      "r=%d  k=%.4f  chi2_{r-1}(%.2f)=%.3f  mean=%.2f  -> %s", num_intervals,
+      statistic, alpha, critical_value, fitted_mean,
+      reject ? "REJECT Poisson" : "cannot reject Poisson");
+}
+
+StatusOr<ChiSquareResult> ChiSquarePoissonTest(
+    const std::vector<int64_t>& samples, const ChiSquareOptions& options) {
+  if (samples.size() < 20) {
+    return Status::InvalidArgument(
+        "chi-square test needs at least 20 samples");
+  }
+  for (int64_t s : samples) {
+    if (s < 0) return Status::InvalidArgument("negative count sample");
+  }
+
+  const auto n = static_cast<double>(samples.size());
+  const double mean = FitPoissonMean(samples);
+  if (mean <= 0.0) {
+    return Status::InvalidArgument("all-zero samples: Poisson mean is 0");
+  }
+
+  int64_t max_sample = *std::max_element(samples.begin(), samples.end());
+  int64_t min_sample = *std::min_element(samples.begin(), samples.end());
+
+  // Initial equal-width buckets covering [min_sample, max_sample], then the
+  // open tails on both sides.
+  int64_t width = options.bucket_width;
+  if (width <= 0) {
+    double sd = std::sqrt(mean);
+    width = std::max<int64_t>(1, static_cast<int64_t>(std::llround(sd / 2.0)));
+  }
+
+  struct RawBucket {
+    int64_t lo, hi;  // [lo, hi)
+    int64_t observed = 0;
+    double expected = 0.0;
+  };
+  std::vector<RawBucket> raw;
+  // Left open tail [0, min_sample) if non-empty.
+  if (min_sample > 0) raw.push_back({0, min_sample, 0, 0.0});
+  for (int64_t lo = min_sample; lo <= max_sample; lo += width) {
+    raw.push_back({lo, lo + width, 0, 0.0});
+  }
+  // Right open tail.
+  raw.push_back({raw.back().hi, std::numeric_limits<int64_t>::max(), 0, 0.0});
+
+  for (int64_t s : samples) {
+    for (auto& b : raw) {
+      if (s >= b.lo && s < b.hi) {
+        ++b.observed;
+        break;
+      }
+    }
+  }
+  for (auto& b : raw) {
+    double p;
+    if (b.hi == std::numeric_limits<int64_t>::max()) {
+      p = 1.0 - PoissonCdf(mean, b.lo - 1);
+    } else {
+      p = PoissonCdf(mean, b.hi - 1) - PoissonCdf(mean, b.lo - 1);
+    }
+    b.expected = n * std::max(0.0, p);
+  }
+
+  // Merge adjacent buckets until every expected count >= min_expected.
+  std::vector<RawBucket> merged;
+  for (const auto& b : raw) {
+    if (!merged.empty() && merged.back().expected < options.min_expected) {
+      merged.back().hi = b.hi;
+      merged.back().observed += b.observed;
+      merged.back().expected += b.expected;
+    } else {
+      merged.push_back(b);
+    }
+  }
+  // The final bucket may still be undersized; fold it backwards.
+  while (merged.size() > 1 && merged.back().expected < options.min_expected) {
+    auto last = merged.back();
+    merged.pop_back();
+    merged.back().hi = last.hi;
+    merged.back().observed += last.observed;
+    merged.back().expected += last.expected;
+  }
+
+  if (merged.size() < 2) {
+    return Status::FailedPrecondition(
+        "fewer than 2 buckets after merging; samples too concentrated");
+  }
+
+  ChiSquareResult result;
+  result.fitted_mean = mean;
+  result.alpha = options.alpha;
+  result.num_intervals = static_cast<int>(merged.size());
+  result.dof = result.num_intervals - 1;  // paper's convention (Appendix B)
+  double k = 0.0;
+  for (const auto& b : merged) {
+    double diff = static_cast<double>(b.observed) - b.expected;
+    k += diff * diff / b.expected;
+    result.buckets.push_back({b.lo, b.hi, b.observed, b.expected});
+  }
+  result.statistic = k;
+  result.critical_value = ChiSquareCriticalValue(result.dof, options.alpha);
+  result.reject = k > result.critical_value;
+  return result;
+}
+
+}  // namespace mrvd

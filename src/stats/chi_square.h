@@ -1,0 +1,54 @@
+// Chi-square goodness-of-fit test for the Poisson-arrival hypothesis
+// (Appendix B, Tables 7/8, Figures 11/12).
+//
+// Following the paper: per-minute count samples X_1..X_n are bucketed into r
+// intervals; the statistic k = sum (nu_i - n p_i)^2 / (n p_i) is compared to
+// the chi-square critical value with r-1 degrees of freedom at alpha = 0.05.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mrvd {
+
+/// One bucket of the goodness-of-fit comparison (drives Figs. 11/12).
+struct ChiSquareBucket {
+  int64_t lo = 0;           ///< inclusive lower count bound
+  int64_t hi = 0;           ///< exclusive upper count bound (INT64_MAX = open)
+  int64_t observed = 0;     ///< nu_i
+  double expected = 0.0;    ///< n * p_i under the fitted Poisson
+};
+
+/// Full result of the test.
+struct ChiSquareResult {
+  double fitted_mean = 0.0;     ///< Poisson MLE from the samples
+  int num_intervals = 0;        ///< r
+  double statistic = 0.0;       ///< k
+  int dof = 0;                  ///< r - 1 (paper's convention)
+  double critical_value = 0.0;  ///< chi^2_{r-1}(alpha)
+  double alpha = 0.05;
+  bool reject = false;          ///< k > critical_value
+  std::vector<ChiSquareBucket> buckets;
+
+  /// Table-7-style one-line summary.
+  std::string ToString() const;
+};
+
+/// Options for bucketing.
+struct ChiSquareOptions {
+  double alpha = 0.05;
+  /// Buckets are merged greedily so each expected count >= this (classical
+  /// validity rule for the chi-square approximation).
+  double min_expected = 5.0;
+  /// Optional fixed bucket width in counts (0 = automatic, ~sqrt spread).
+  int64_t bucket_width = 0;
+};
+
+/// Tests H: samples ~ Poisson(mean MLE). Requires >= 20 samples.
+StatusOr<ChiSquareResult> ChiSquarePoissonTest(
+    const std::vector<int64_t>& samples, const ChiSquareOptions& options = {});
+
+}  // namespace mrvd

@@ -1,0 +1,110 @@
+#include "stats/distributions.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mrvd {
+
+double LogGamma(double x) {
+  // Lanczos, g=7, n=9 coefficients.
+  static const double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  assert(x > 0.0);
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoef[0];
+  double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoef[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+double RegularizedGammaP(double a, double x) {
+  assert(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  const double lg = LogGamma(a);
+  if (x < a + 1.0) {
+    // Series: P(a,x) = e^{-x} x^a / Gamma(a) * sum x^n / (a(a+1)...(a+n)).
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < 1000; ++i) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - lg);
+  }
+  // Continued fraction for Q(a,x) (Lentz's algorithm).
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 1000; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  double q = std::exp(-x + a * std::log(x) - lg) * h;
+  return 1.0 - q;
+}
+
+double PoissonPmf(double mean, int64_t k) {
+  assert(mean >= 0.0 && k >= 0);
+  if (mean == 0.0) return k == 0 ? 1.0 : 0.0;
+  double lk = static_cast<double>(k);
+  return std::exp(lk * std::log(mean) - mean - LogGamma(lk + 1.0));
+}
+
+double PoissonCdf(double mean, int64_t k) {
+  if (k < 0) return 0.0;
+  if (mean == 0.0) return 1.0;
+  // P[X <= k] = Q(k+1, mean) = 1 - P(k+1, mean).
+  return 1.0 - RegularizedGammaP(static_cast<double>(k) + 1.0, mean);
+}
+
+double ChiSquareCdf(double x, int dof) {
+  assert(dof > 0);
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(0.5 * dof, 0.5 * x);
+}
+
+double ChiSquareCriticalValue(int dof, double alpha) {
+  assert(dof > 0 && alpha > 0.0 && alpha < 1.0);
+  double target = 1.0 - alpha;
+  double lo = 0.0;
+  double hi = std::fmax(10.0, dof + 10.0 * std::sqrt(2.0 * dof));
+  while (ChiSquareCdf(hi, dof) < target) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (ChiSquareCdf(mid, dof) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double FitPoissonMean(const std::vector<int64_t>& samples) {
+  if (samples.empty()) return 0.0;
+  double s = 0.0;
+  for (int64_t v : samples) s += static_cast<double>(v);
+  return s / static_cast<double>(samples.size());
+}
+
+}  // namespace mrvd

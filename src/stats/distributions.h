@@ -1,0 +1,34 @@
+// Probability distributions and special functions needed by the queueing
+// analysis and the chi-square goodness-of-fit test (Appendix B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mrvd {
+
+/// ln Gamma(x) for x > 0 (Lanczos approximation, |err| < 2e-10).
+double LogGamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a).
+/// Series expansion for x < a+1, continued fraction otherwise.
+double RegularizedGammaP(double a, double x);
+
+/// Poisson pmf P[X = k] with mean `mean` (computed in log space).
+double PoissonPmf(double mean, int64_t k);
+
+/// Poisson cdf P[X <= k].
+double PoissonCdf(double mean, int64_t k);
+
+/// Chi-square cdf with `dof` degrees of freedom.
+double ChiSquareCdf(double x, int dof);
+
+/// Upper quantile: the critical value c with P[X > c] = alpha for a
+/// chi-square with `dof` degrees of freedom (e.g. dof=6, alpha=0.05 -> 12.592
+/// as quoted in Table 7). Solved by bisection on the cdf.
+double ChiSquareCriticalValue(int dof, double alpha);
+
+/// Maximum-likelihood Poisson mean for integer count samples (= sample mean).
+double FitPoissonMean(const std::vector<int64_t>& samples);
+
+}  // namespace mrvd

@@ -1,0 +1,69 @@
+#include "stats/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mrvd {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 1 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::sample_variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void ErrorStats::Add(double estimate, double actual) {
+  ++n_;
+  double e = estimate - actual;
+  abs_sum_ += std::fabs(e);
+  sq_sum_ += e * e;
+  actual_sum_ += actual;
+}
+
+double ErrorStats::Mae() const {
+  return n_ == 0 ? 0.0 : abs_sum_ / static_cast<double>(n_);
+}
+
+double ErrorStats::RealRmse() const {
+  return n_ == 0 ? 0.0 : std::sqrt(sq_sum_ / static_cast<double>(n_));
+}
+
+double ErrorStats::MeanActual() const {
+  return n_ == 0 ? 0.0 : actual_sum_ / static_cast<double>(n_);
+}
+
+double ErrorStats::RelativeRmsePct() const {
+  double mean_act = MeanActual();
+  if (mean_act == 0.0) return 0.0;
+  return RealRmse() / mean_act * 100.0;
+}
+
+double Rmse(const std::vector<double>& estimate,
+            const std::vector<double>& actual) {
+  assert(estimate.size() == actual.size());
+  if (estimate.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < estimate.size(); ++i) {
+    double e = estimate[i] - actual[i];
+    s += e * e;
+  }
+  return std::sqrt(s / static_cast<double>(estimate.size()));
+}
+
+}  // namespace mrvd

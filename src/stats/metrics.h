@@ -1,0 +1,60 @@
+// Error metrics used across the evaluation: MAE, RMSE, relative RMSE
+// (Tables 3 and 6), plus streaming mean/variance accumulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mrvd {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance (n in the denominator); 0 for n < 1.
+  double variance() const;
+  /// Sample variance (n-1); 0 for n < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Accumulates paired (estimate, actual) observations and reports the three
+/// error measures the paper uses in Tables 3/6:
+///   MAE        = mean |est - act|                     (seconds)
+///   RealRmse   = sqrt(mean (est - act)^2)             (seconds)
+///   RelRmsePct = RealRmse / mean(act) * 100           (%)
+class ErrorStats {
+ public:
+  void Add(double estimate, double actual);
+
+  int64_t count() const { return n_; }
+  double Mae() const;
+  double RealRmse() const;
+  /// Relative RMSE in percent of the mean actual value; 0 if mean actual is 0.
+  double RelativeRmsePct() const;
+  double MeanActual() const;
+
+ private:
+  int64_t n_ = 0;
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  double actual_sum_ = 0.0;
+};
+
+/// RMSE between two equal-length vectors (convenience for predictor tests).
+double Rmse(const std::vector<double>& estimate,
+            const std::vector<double>& actual);
+
+}  // namespace mrvd

@@ -1,0 +1,102 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace mrvd {
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r' || c == '\n') {
+      break;
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Status ReadCsvFile(
+    const std::string& path, bool has_header,
+    const std::function<void(const std::vector<std::string>&)>& header_fn,
+    const std::function<bool(const std::vector<std::string>&)>& row_fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+
+  std::string line;
+  char buf[1 << 16];
+  bool first = true;
+  auto flush_line = [&](bool eof) -> bool {
+    if (line.empty() && eof) return true;
+    auto fields = ParseCsvLine(line);
+    line.clear();
+    if (first && has_header) {
+      first = false;
+      if (header_fn) header_fn(fields);
+      return true;
+    }
+    first = false;
+    return row_fn(fields);
+  };
+
+  bool keep_going = true;
+  while (keep_going && std::fgets(buf, sizeof(buf), f) != nullptr) {
+    line.append(buf);
+    if (!line.empty() && line.back() == '\n') {
+      keep_going = flush_line(/*eof=*/false);
+    }
+  }
+  if (keep_going && !line.empty()) flush_line(/*eof=*/true);
+  std::fclose(f);
+  return Status::OK();
+}
+
+CsvWriter::CsvWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (file_ == nullptr) return;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    bool needs_quote =
+        f.find(',') != std::string::npos || f.find('"') != std::string::npos;
+    if (needs_quote) {
+      std::fputc('"', file_);
+      for (char c : f) {
+        if (c == '"') std::fputc('"', file_);
+        std::fputc(c, file_);
+      }
+      std::fputc('"', file_);
+    } else {
+      std::fwrite(f.data(), 1, f.size(), file_);
+    }
+    std::fputc(i + 1 == fields.size() ? '\n' : ',', file_);
+  }
+}
+
+}  // namespace mrvd

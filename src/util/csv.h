@@ -1,0 +1,45 @@
+// Minimal CSV reading/writing used by the TLC trip-record parser and the
+// bench harnesses' result dumps. Handles quoted fields with embedded commas
+// and doubled quotes; does not handle embedded newlines (TLC data has none).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mrvd {
+
+/// Parses one CSV record into fields (RFC-4180 quoting, no embedded newlines).
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Streams a CSV file row by row. `row_fn` receives the parsed fields for
+/// each data row; returning false stops iteration early (still OK status).
+/// If `has_header` is true the first row is passed to `header_fn` (may be
+/// nullptr to skip it).
+Status ReadCsvFile(
+    const std::string& path, bool has_header,
+    const std::function<void(const std::vector<std::string>&)>& header_fn,
+    const std::function<bool(const std::vector<std::string>&)>& row_fn);
+
+/// Buffered CSV writer.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check ok() before use.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Writes one row, quoting fields that contain commas or quotes.
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace mrvd

@@ -1,0 +1,92 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace mrvd {
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / buckets) {
+  assert(hi > lo && buckets > 0);
+  counts_.assign(static_cast<size_t>(buckets), 0);
+}
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (value < lo_) {
+    ++underflow_;
+  } else if (value >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<size_t>((value - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+    ++counts_[idx];
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(other.counts_.size() == counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  double acc = static_cast<double>(underflow_);
+  if (acc >= target) return lo_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double c = static_cast<double>(counts_[i]);
+    if (acc + c >= target && c > 0) {
+      double frac = (target - acc) / c;
+      return lo_ + width_ * (static_cast<double>(i) + frac);
+    }
+    acc += c;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(int bar_width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    int bar = static_cast<int>(
+        std::llround(static_cast<double>(counts_[i]) * bar_width / peak));
+    out += StrFormat("[%10.3f, %10.3f) %8lld |", bucket_lo(static_cast<int>(i)),
+                     bucket_lo(static_cast<int>(i)) + width_,
+                     static_cast<long long>(counts_[i]));
+    out.append(static_cast<size_t>(bar), '#');
+    out.push_back('\n');
+  }
+  if (underflow_ > 0)
+    out += StrFormat("underflow: %lld\n", static_cast<long long>(underflow_));
+  if (overflow_ > 0)
+    out += StrFormat("overflow: %lld\n", static_cast<long long>(overflow_));
+  return out;
+}
+
+}  // namespace mrvd

@@ -1,0 +1,48 @@
+// Fixed-bucket histogram used for the order/driver distribution figures
+// (Figs. 5, 11, 12) and for batch-latency summaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrvd {
+
+/// Histogram over [lo, hi) with `buckets` equal-width bins plus underflow /
+/// overflow counters. Also tracks count/mean/min/max for quick summaries.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  int64_t bucket_count(int i) const { return counts_[static_cast<size_t>(i)]; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+
+  /// Lower edge of bucket i.
+  double bucket_lo(int i) const { return lo_ + width_ * i; }
+
+  /// Value below which `q` (0..1) of the mass lies, interpolated within the
+  /// containing bucket. Underflow mass counts at lo, overflow at hi.
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering (one row per bucket with a bar).
+  std::string ToAscii(int bar_width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0, overflow_ = 0;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace mrvd

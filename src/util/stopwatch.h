@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for batch-latency measurements (Figures 7b-10b).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mrvd {
+
+/// Monotonic stopwatch; Elapsed* can be read repeatedly without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mrvd

@@ -1,0 +1,28 @@
+// Small string helpers shared by the CSV reader and bench harnesses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mrvd {
+
+/// Splits `s` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> SplitString(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Strict numeric parsing (whole string must parse).
+StatusOr<double> ParseDouble(std::string_view s);
+StatusOr<int64_t> ParseInt64(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace mrvd

@@ -1,0 +1,34 @@
+#include "workload/demand_history.h"
+
+#include <cassert>
+
+namespace mrvd {
+
+DemandHistory::DemandHistory(int num_days, int slots_per_day, int num_regions)
+    : num_days_(num_days),
+      slots_per_day_(slots_per_day),
+      num_regions_(num_regions) {
+  assert(num_days > 0 && slots_per_day > 0 && num_regions > 0);
+  data_.assign(static_cast<size_t>(num_days) * slots_per_day * num_regions,
+               0.0);
+}
+
+Status DemandHistory::AccumulateDay(int day, const Workload& w,
+                                    const Grid& grid) {
+  if (day < 0 || day >= num_days_) {
+    return Status::OutOfRange("day index out of history range");
+  }
+  if (grid.num_regions() != num_regions_) {
+    return Status::InvalidArgument("grid/history region count mismatch");
+  }
+  const double slot_secs = SlotSeconds(slots_per_day_);
+  for (const Order& o : w.orders) {
+    int slot = static_cast<int>(o.request_time / slot_secs);
+    if (slot < 0) slot = 0;
+    if (slot >= slots_per_day_) slot = slots_per_day_ - 1;
+    add(day, slot, grid.RegionOf(o.pickup), 1.0);
+  }
+  return Status::OK();
+}
+
+}  // namespace mrvd

@@ -1,0 +1,59 @@
+// Historical per-region per-time-slot order counts — the training input of
+// the offline demand-prediction process (§3.1.1, Appendix A). Layout is a
+// dense [day][slot][region] tensor of counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/types.h"
+
+namespace mrvd {
+
+/// Dense count tensor over days x slots-per-day x regions.
+class DemandHistory {
+ public:
+  DemandHistory(int num_days, int slots_per_day, int num_regions);
+
+  int num_days() const { return num_days_; }
+  int slots_per_day() const { return slots_per_day_; }
+  int num_regions() const { return num_regions_; }
+  /// Total number of (day, slot) time steps.
+  int num_steps() const { return num_days_ * slots_per_day_; }
+
+  /// Count accessors. `step` is day * slots_per_day + slot.
+  double at(int day, int slot, int region) const {
+    return data_[Index(day, slot, region)];
+  }
+  double at_step(int step, int region) const {
+    return data_[static_cast<size_t>(step) * num_regions_ + region];
+  }
+  void set(int day, int slot, int region, double v) {
+    data_[Index(day, slot, region)] = v;
+  }
+  void add(int day, int slot, int region, double v) {
+    data_[Index(day, slot, region)] += v;
+  }
+
+  /// Accumulates the orders of `w` as day `day` of this history (bucketed by
+  /// request_time and pickup region).
+  Status AccumulateDay(int day, const Workload& w, const Grid& grid);
+
+  /// Seconds per slot for a given day horizon.
+  static double SlotSeconds(int slots_per_day) {
+    return kSecondsPerDay / slots_per_day;
+  }
+
+ private:
+  size_t Index(int day, int slot, int region) const {
+    return (static_cast<size_t>(day) * slots_per_day_ + slot) *
+               num_regions_ +
+           region;
+  }
+
+  int num_days_, slots_per_day_, num_regions_;
+  std::vector<double> data_;
+};
+
+}  // namespace mrvd

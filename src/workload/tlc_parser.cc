@@ -1,0 +1,146 @@
+#include "workload/tlc_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace mrvd {
+
+namespace {
+
+// Days since epoch for a Gregorian date (civil-days algorithm, H. Hinnant).
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+bool ColumnMatches(const std::string& header, const char* needle) {
+  std::string lower;
+  lower.reserve(header.size());
+  for (char c : header) lower.push_back(static_cast<char>(std::tolower(c)));
+  return lower.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+StatusOr<int64_t> ParseDateTimeSeconds(const std::string& s) {
+  // Expected: "YYYY-MM-DD HH:MM:SS".
+  int y, mo, d, h, mi, se;
+  if (std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d", &y, &mo, &d, &h, &mi, &se) !=
+      6) {
+    return Status::InvalidArgument("bad datetime: '" + s + "'");
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 ||
+      mi > 59 || se < 0 || se > 60) {
+    return Status::InvalidArgument("datetime fields out of range: '" + s + "'");
+  }
+  return DaysFromCivil(y, mo, d) * 86400 + h * 3600 + mi * 60 + se;
+}
+
+StatusOr<Workload> ParseTlcCsv(const std::string& path, int num_drivers,
+                               const TlcParseOptions& options,
+                               TlcParseStats* stats_out) {
+  int col_pickup_dt = -1, col_plon = -1, col_plat = -1, col_dlon = -1,
+      col_dlat = -1;
+  TlcParseStats stats;
+  Workload w;
+  Rng rng(options.seed);
+  int64_t first_midnight = -1;
+
+  auto header_fn = [&](const std::vector<std::string>& h) {
+    for (int i = 0; i < static_cast<int>(h.size()); ++i) {
+      if (ColumnMatches(h[static_cast<size_t>(i)], "pickup_datetime"))
+        col_pickup_dt = i;
+      else if (ColumnMatches(h[static_cast<size_t>(i)], "pickup_longitude"))
+        col_plon = i;
+      else if (ColumnMatches(h[static_cast<size_t>(i)], "pickup_latitude"))
+        col_plat = i;
+      else if (ColumnMatches(h[static_cast<size_t>(i)], "dropoff_longitude"))
+        col_dlon = i;
+      else if (ColumnMatches(h[static_cast<size_t>(i)], "dropoff_latitude"))
+        col_dlat = i;
+    }
+  };
+
+  auto row_fn = [&](const std::vector<std::string>& row) -> bool {
+    ++stats.rows_total;
+    int max_col = std::max({col_pickup_dt, col_plon, col_plat, col_dlon,
+                            col_dlat});
+    if (max_col < 0 || static_cast<int>(row.size()) <= max_col) {
+      ++stats.rows_bad;
+      return true;
+    }
+    auto ts = ParseDateTimeSeconds(row[static_cast<size_t>(col_pickup_dt)]);
+    auto plon = ParseDouble(row[static_cast<size_t>(col_plon)]);
+    auto plat = ParseDouble(row[static_cast<size_t>(col_plat)]);
+    auto dlon = ParseDouble(row[static_cast<size_t>(col_dlon)]);
+    auto dlat = ParseDouble(row[static_cast<size_t>(col_dlat)]);
+    if (!ts.ok() || !plon.ok() || !plat.ok() || !dlon.ok() || !dlat.ok()) {
+      ++stats.rows_bad;
+      return true;
+    }
+    LatLon pickup{*plat, *plon};
+    LatLon dropoff{*dlat, *dlon};
+    if (!options.box.Contains(pickup) || !options.box.Contains(dropoff)) {
+      ++stats.rows_out_of_box;
+      return true;
+    }
+    if (first_midnight < 0) first_midnight = *ts - (*ts % 86400);
+    int day = static_cast<int>((*ts - first_midnight) / 86400);
+    if (options.day_filter >= 0 && day != options.day_filter) return true;
+
+    Order o;
+    o.request_time = static_cast<double>(*ts - first_midnight -
+                                         static_cast<int64_t>(options.day_filter >= 0
+                                                                  ? options.day_filter
+                                                                  : 0) *
+                                             86400);
+    o.pickup = pickup;
+    o.dropoff = dropoff;
+    o.pickup_deadline =
+        o.request_time +
+        rng.Uniform(options.extra_wait_lo, options.extra_wait_hi) +
+        options.base_pickup_wait;
+    w.orders.push_back(o);
+    ++stats.rows_kept;
+    return options.max_orders == 0 || stats.rows_kept < options.max_orders;
+  };
+
+  MRVD_RETURN_NOT_OK(ReadCsvFile(path, /*has_header=*/true, header_fn, row_fn));
+  if (col_pickup_dt < 0 || col_plon < 0 || col_plat < 0 || col_dlon < 0 ||
+      col_dlat < 0) {
+    return Status::InvalidArgument(
+        "TLC header missing pickup/dropoff datetime or coordinate columns");
+  }
+
+  std::sort(w.orders.begin(), w.orders.end(),
+            [](const Order& a, const Order& b) {
+              return a.request_time < b.request_time;
+            });
+  for (size_t i = 0; i < w.orders.size(); ++i)
+    w.orders[i].id = static_cast<OrderId>(i);
+
+  for (int d = 0; d < num_drivers; ++d) {
+    DriverSpec spec;
+    spec.id = d;
+    if (!w.orders.empty()) {
+      auto pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(w.orders.size()) - 1));
+      spec.origin = w.orders[pick].pickup;
+    } else {
+      spec.origin = options.box.Center();
+    }
+    w.drivers.push_back(spec);
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return w;
+}
+
+}  // namespace mrvd

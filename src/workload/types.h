@@ -1,0 +1,42 @@
+// Core workload records: ride orders (impatient riders, Def. 1) and drivers
+// (Def. 2). All times are seconds relative to the workload's day start.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+
+namespace mrvd {
+
+using OrderId = int64_t;
+using DriverId = int64_t;
+
+/// One impatient rider r_i / order o_i (the paper uses rider and order
+/// interchangeably: one rider posts exactly one order).
+struct Order {
+  OrderId id = -1;
+  double request_time = 0.0;     ///< t_i, seconds from day start
+  LatLon pickup;                 ///< s_i
+  LatLon dropoff;                ///< e_i
+  double pickup_deadline = 0.0;  ///< τ_i (absolute seconds)
+};
+
+/// Initial state of a driver d_j.
+struct DriverSpec {
+  DriverId id = -1;
+  LatLon origin;           ///< l_j(0)
+  double join_time = 0.0;  ///< drivers join at day start by default
+};
+
+/// A full problem instance: one day of orders plus the driver fleet.
+struct Workload {
+  std::vector<Order> orders;    ///< sorted by request_time
+  std::vector<DriverSpec> drivers;
+  double horizon_seconds = 86400.0;
+};
+
+inline constexpr double kSecondsPerDay = 86400.0;
+
+}  // namespace mrvd

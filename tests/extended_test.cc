@@ -1,0 +1,375 @@
+// Extended coverage: edge cases, failure injection and cross-module
+// consistency checks that go beyond each module's basic suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "dispatch/candidates.h"
+#include "dispatch/dispatchers.h"
+#include "geo/travel.h"
+#include "prediction/forecast.h"
+#include "prediction/predictor.h"
+#include "queueing/birth_death.h"
+#include "sim/engine.h"
+#include "stats/chi_square.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/tlc_parser.h"
+
+namespace mrvd {
+namespace {
+
+// ------------------------------------------------ queueing deep tails
+
+TEST(QueueingExtended, PositiveTailDecaysMonotonically) {
+  auto chain = BirthDeathChain::Solve({2.0, 1.5, 0.1, 10});
+  ASSERT_TRUE(chain.ok());
+  double prev = chain->StateProbability(1);
+  for (int64_t n = 2; n <= 30; ++n) {
+    double p = chain->StateProbability(n);
+    // With beta > 0 the service rate grows with n, so the tail decays once
+    // lambda < mu + pi(n); by n=2 that already holds here.
+    EXPECT_LE(p, prev * 1.0000001) << "n=" << n;
+    prev = p;
+  }
+}
+
+TEST(QueueingExtended, ZeroCapMeansImmediateBalk) {
+  // K=0: no driver can congest; all mass is on n >= 0.
+  auto chain = BirthDeathChain::Solve({1.0, 2.0, 0.05, 0});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_DOUBLE_EQ(chain->StateProbability(-1), 0.0);
+  double total = chain->p0();
+  for (int64_t n = 1; n <= chain->positive_tail_length(); ++n) {
+    total += chain->StateProbability(n);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // An arriving driver only ever sees n >= 0, so ET = p0/lambda exactly.
+  EXPECT_NEAR(chain->ExpectedIdleSeconds(), chain->p0() / 1.0, 1e-12);
+}
+
+TEST(QueueingExtended, ExtremeRatesStayFinite) {
+  for (auto [l, m] : {std::pair{1e-6, 10.0}, {10.0, 1e-6}, {1e-6, 1e-6}}) {
+    auto chain = BirthDeathChain::Solve({l, m, 0.02, 100});
+    ASSERT_TRUE(chain.ok()) << l << " " << m;
+    EXPECT_TRUE(std::isfinite(chain->ExpectedIdleSeconds()));
+    EXPECT_GE(chain->ExpectedIdleSeconds(), 0.0);
+  }
+}
+
+// ------------------------------------------------ candidate modes
+
+class CandidateModeTest : public ::testing::Test {
+ protected:
+  CandidateModeTest()
+      : grid_(kNycBoundingBox, 4, 4), cost_(10.0, 1.0) {}
+
+  BatchContext MakeContext(CandidateMode mode) {
+    BatchContext ctx(1000.0, 1200.0, 0.02, grid_, cost_, mode);
+    WaitingRider r;
+    r.order_id = 0;
+    r.pickup = {40.664, -74.00};
+    r.dropoff = {40.75, -73.95};
+    r.request_time = 990;
+    r.pickup_deadline = 1400.0;
+    r.trip_seconds = cost_.TravelSeconds(r.pickup, r.dropoff);
+    r.revenue = r.trip_seconds;
+    r.pickup_region = grid_.RegionOf(r.pickup);
+    r.dropoff_region = grid_.RegionOf(r.dropoff);
+    ctx.AddRider(r);
+    // One driver in the same region, one across the row boundary.
+    for (LatLon loc : {LatLon{40.660, -74.00}, LatLon{40.667, -74.00}}) {
+      AvailableDriver d;
+      d.driver_id = ctx.drivers().size();
+      d.location = loc;
+      d.region = grid_.RegionOf(loc);
+      d.available_since = 0;
+      ctx.AddDriver(d);
+    }
+    std::vector<RegionSnapshot> snaps(
+        static_cast<size_t>(grid_.num_regions()));
+    ctx.SetSnapshots(std::move(snaps));
+    return ctx;
+  }
+
+  Grid grid_;
+  StraightLineCostModel cost_;
+};
+
+TEST_F(CandidateModeTest, RegionLocalExcludesCrossRegionDrivers) {
+  BatchContext local = MakeContext(CandidateMode::kRegionLocal);
+  BatchContext ring = MakeContext(CandidateMode::kRingExpand);
+  EXPECT_EQ(GenerateValidPairs(local).size(), 1u);
+  EXPECT_EQ(GenerateValidPairs(ring).size(), 2u);
+}
+
+TEST_F(CandidateModeTest, RegionLocalSimulationStillServes) {
+  GeneratorConfig cfg;
+  cfg.grid_rows = 4;
+  cfg.grid_cols = 4;
+  cfg.orders_per_day = 3000;
+  NycLikeGenerator gen(cfg);
+  Workload day = gen.GenerateDay(0, 60);
+  SimConfig sim_cfg;
+  sim_cfg.batch_interval = 10.0;
+  sim_cfg.candidate_mode = CandidateMode::kRegionLocal;
+  StraightLineCostModel cost(11.0, 1.3);
+  Simulator sim(sim_cfg, day, gen.grid(), cost, nullptr);
+  auto near = MakeNearestDispatcher();
+  SimResult r = sim.Run(*near);
+  EXPECT_GT(r.served_orders, 0);
+  EXPECT_EQ(r.served_orders + r.reneged_orders, r.total_orders);
+}
+
+// ------------------------------------------------ TLC parser options
+
+TEST(TlcParserExtended, DayFilterAndMaxOrders) {
+  auto path = std::filesystem::temp_directory_path() / "mrvd_tlc_ext.csv";
+  {
+    CsvWriter w(path.string());
+    w.WriteRow({"pickup_datetime", "pickup_longitude", "pickup_latitude",
+                "dropoff_longitude", "dropoff_latitude"});
+    // Day 0: two trips; day 1: one trip.
+    w.WriteRow({"2013-05-28 08:00:00", "-73.98", "40.75", "-73.95", "40.78"});
+    w.WriteRow({"2013-05-28 09:00:00", "-73.97", "40.74", "-73.94", "40.77"});
+    w.WriteRow({"2013-05-29 08:00:00", "-73.96", "40.73", "-73.93", "40.76"});
+  }
+  TlcParseOptions opt;
+  opt.day_filter = 1;
+  auto wl = ParseTlcCsv(path.string(), 0, opt);
+  ASSERT_TRUE(wl.ok());
+  ASSERT_EQ(wl->orders.size(), 1u);
+  // Request time relative to *that day's* midnight: 8:00 = 28800.
+  EXPECT_DOUBLE_EQ(wl->orders[0].request_time, 28800.0);
+
+  TlcParseOptions cap;
+  cap.max_orders = 1;
+  auto capped = ParseTlcCsv(path.string(), 0, cap);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->orders.size(), 1u);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------ chi-square options
+
+TEST(ChiSquareExtended, FixedBucketWidthRespected) {
+  Rng rng(5);
+  std::vector<int64_t> samples;
+  for (int i = 0; i < 300; ++i) samples.push_back(rng.Poisson(40.0));
+  ChiSquareOptions opt;
+  opt.bucket_width = 5;
+  auto result = ChiSquarePoissonTest(samples, opt);
+  ASSERT_TRUE(result.ok());
+  // Interior (non-tail) buckets should be exactly 5 wide or merged
+  // multiples of 5.
+  for (const auto& b : result->buckets) {
+    if (b.hi == INT64_MAX || b.lo == 0) continue;
+    EXPECT_EQ((b.hi - b.lo) % 5, 0);
+  }
+}
+
+TEST(ChiSquareExtended, StricterAlphaRaisesCriticalValue) {
+  Rng rng(6);
+  std::vector<int64_t> samples;
+  for (int i = 0; i < 210; ++i) samples.push_back(rng.Poisson(60.0));
+  ChiSquareOptions loose, strict;
+  loose.alpha = 0.05;
+  strict.alpha = 0.01;
+  auto r1 = ChiSquarePoissonTest(samples, loose);
+  auto r2 = ChiSquarePoissonTest(samples, strict);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_GT(r2->critical_value, r1->critical_value);
+}
+
+// ------------------------------------------------ generator OD coherence
+
+TEST(GeneratorExtended, SampledDestinationsMatchDistribution) {
+  GeneratorConfig cfg;
+  cfg.grid_rows = 6;
+  cfg.grid_cols = 6;
+  cfg.orders_per_day = 40000;
+  NycLikeGenerator gen(cfg);
+  Workload day = gen.GenerateDay(0, 0);
+
+  // Empirical destination distribution of morning trips from the busiest
+  // origin region vs. the analytic DestinationDistribution. Aggregate a
+  // band of morning slots (the mix changes slowly) for sample size.
+  const int slot = 17;  // 08:30, analytic reference
+  const int slot_lo = 15, slot_hi = 19;
+  std::vector<int64_t> origin_counts(36, 0);
+  for (const Order& o : day.orders) {
+    int s = static_cast<int>(o.request_time / 1800.0);
+    if (s >= slot_lo && s <= slot_hi)
+      ++origin_counts[gen.grid().RegionOf(o.pickup)];
+  }
+  RegionId from = static_cast<RegionId>(
+      std::max_element(origin_counts.begin(), origin_counts.end()) -
+      origin_counts.begin());
+
+  std::vector<int64_t> dest_counts(36, 0);
+  int64_t total = 0;
+  for (const Order& o : day.orders) {
+    int s = static_cast<int>(o.request_time / 1800.0);
+    if (s >= slot_lo && s <= slot_hi &&
+        gen.grid().RegionOf(o.pickup) == from) {
+      ++dest_counts[gen.grid().RegionOf(o.dropoff)];
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 150);
+  auto analytic = gen.DestinationDistribution(0, slot, from);
+  for (RegionId r = 0; r < 36; ++r) {
+    double empirical =
+        static_cast<double>(dest_counts[static_cast<size_t>(r)]) /
+        static_cast<double>(total);
+    EXPECT_NEAR(empirical, analytic[static_cast<size_t>(r)],
+                0.05 + analytic[static_cast<size_t>(r)] * 0.5)
+        << "region " << r;
+  }
+}
+
+// ------------------------------------------------ engine + forecast wiring
+
+TEST(EngineExtended, ForecastRaisesLambdaInHotRegions) {
+  // With a forecast, the snapshot-driven ET in a hot region must be lower
+  // than without (more predicted riders -> less idle). We observe this
+  // indirectly: IRG with forecast routes more drivers into hot regions.
+  GeneratorConfig cfg;
+  cfg.grid_rows = 8;
+  cfg.grid_cols = 8;
+  cfg.orders_per_day = 8000;
+  NycLikeGenerator gen(cfg);
+  Workload day = gen.GenerateDay(1, 100);
+  DemandHistory realized = gen.RealizedCounts(day, 48);
+  auto oracle = MakeOraclePredictor();
+  auto fc = DemandForecast::Build(*oracle, realized, 0);
+  ASSERT_TRUE(fc.ok());
+
+  StraightLineCostModel cost(11.0, 1.3);
+  SimConfig sim_cfg;
+  sim_cfg.batch_interval = 10.0;
+  auto irg1 = MakeIrgDispatcher();
+  auto irg2 = MakeIrgDispatcher();
+  Simulator with(sim_cfg, day, gen.grid(), cost, &fc.value());
+  Simulator without(sim_cfg, day, gen.grid(), cost, nullptr);
+  SimResult r_with = with.Run(*irg1);
+  SimResult r_without = without.Run(*irg2);
+  // Both must serve; the forecast must not hurt by a large margin.
+  EXPECT_GT(r_with.served_orders, 0);
+  EXPECT_GT(r_with.total_revenue, r_without.total_revenue * 0.9);
+}
+
+TEST(EngineExtended, HorizonTruncationCountsLateOrdersAsUnserved) {
+  GeneratorConfig cfg;
+  cfg.grid_rows = 4;
+  cfg.grid_cols = 4;
+  cfg.orders_per_day = 2000;
+  NycLikeGenerator gen(cfg);
+  Workload day = gen.GenerateDay(0, 20);
+  SimConfig sim_cfg;
+  sim_cfg.batch_interval = 10.0;
+  sim_cfg.horizon_seconds = 6 * 3600.0;  // stop at 6 AM
+  StraightLineCostModel cost(11.0, 1.3);
+  Simulator sim(sim_cfg, day, gen.grid(), cost, nullptr);
+  auto near = MakeNearestDispatcher();
+  SimResult r = sim.Run(*near);
+  EXPECT_EQ(r.served_orders + r.reneged_orders, r.total_orders);
+  // Orders after 6 AM cannot have been served.
+  int64_t before_horizon = 0;
+  for (const Order& o : day.orders) {
+    if (o.request_time <= 6 * 3600.0) ++before_horizon;
+  }
+  EXPECT_LE(r.served_orders, before_horizon);
+}
+
+// ------------------------------------------------ forecast edges
+
+TEST(ForecastExtended, ZeroWindowIsZero) {
+  GeneratorConfig cfg;
+  cfg.grid_rows = 4;
+  cfg.grid_cols = 4;
+  cfg.orders_per_day = 1000;
+  NycLikeGenerator gen(cfg);
+  DemandHistory h = gen.GenerateHistory(1, 48);
+  auto oracle = MakeOraclePredictor();
+  auto fc = DemandForecast::Build(*oracle, h, 0);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_DOUBLE_EQ(fc->WindowCount(1000.0, 0.0, 3), 0.0);
+}
+
+TEST(ForecastExtended, FullDayWindowSumsAllSlots) {
+  GeneratorConfig cfg;
+  cfg.grid_rows = 4;
+  cfg.grid_cols = 4;
+  cfg.orders_per_day = 1000;
+  NycLikeGenerator gen(cfg);
+  DemandHistory h = gen.GenerateHistory(1, 48);
+  auto oracle = MakeOraclePredictor();
+  auto fc = DemandForecast::Build(*oracle, h, 0);
+  ASSERT_TRUE(fc.ok());
+  double whole = fc->WindowCount(0.0, kSecondsPerDay, 5);
+  double slots = 0;
+  for (int s = 0; s < 48; ++s) slots += fc->SlotCount(s, 5);
+  EXPECT_NEAR(whole, slots, 1e-6);
+}
+
+// ------------------------------------------------ dispatcher robustness
+
+TEST(DispatcherExtended, ManyRidersOneDriver) {
+  Grid grid(kNycBoundingBox, 4, 4);
+  StraightLineCostModel cost(10.0, 1.0);
+  BatchContext ctx(0.0, 1200.0, 0.02, grid, cost);
+  for (int i = 0; i < 50; ++i) {
+    WaitingRider r;
+    r.order_id = i;
+    r.pickup = {40.70 + 0.0001 * i, -74.00};
+    r.dropoff = {40.75, -73.95};
+    r.pickup_deadline = 500.0;
+    r.trip_seconds = cost.TravelSeconds(r.pickup, r.dropoff);
+    r.revenue = r.trip_seconds;
+    r.pickup_region = grid.RegionOf(r.pickup);
+    r.dropoff_region = grid.RegionOf(r.dropoff);
+    ctx.AddRider(r);
+  }
+  AvailableDriver d;
+  d.driver_id = 0;
+  d.location = {40.701, -74.0};
+  d.region = grid.RegionOf(d.location);
+  ctx.AddDriver(d);
+  std::vector<RegionSnapshot> snaps(static_cast<size_t>(grid.num_regions()));
+  ctx.SetSnapshots(std::move(snaps));
+
+  std::vector<std::unique_ptr<Dispatcher>> ds;
+  ds.push_back(MakeIrgDispatcher());
+  ds.push_back(MakeLocalSearchDispatcher());
+  ds.push_back(MakeShortDispatcher());
+  ds.push_back(MakePolarDispatcher());
+  ds.push_back(MakeRandomDispatcher(3));
+  for (auto& disp : ds) {
+    std::vector<Assignment> out;
+    disp->Dispatch(ctx, &out);
+    EXPECT_EQ(out.size(), 1u) << disp->name();
+  }
+}
+
+TEST(DispatcherExtended, LocalSearchSweepCapRespected) {
+  // A 1-sweep LS must still return a complete valid assignment.
+  GeneratorConfig cfg;
+  cfg.grid_rows = 4;
+  cfg.grid_cols = 4;
+  cfg.orders_per_day = 3000;
+  NycLikeGenerator gen(cfg);
+  Workload day = gen.GenerateDay(0, 40);
+  SimConfig sim_cfg;
+  sim_cfg.batch_interval = 15.0;
+  StraightLineCostModel cost(11.0, 1.3);
+  auto ls1 = MakeLocalSearchDispatcher(/*max_sweeps=*/1);
+  Simulator sim(sim_cfg, day, gen.grid(), cost, nullptr);
+  SimResult r = sim.Run(*ls1);
+  EXPECT_GT(r.served_orders, 0);
+}
+
+}  // namespace
+}  // namespace mrvd

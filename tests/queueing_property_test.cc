@@ -1,0 +1,126 @@
+// Property tests: the closed-form steady-state solution of birth_death.h is
+// validated against an independent discrete-event (CTMC) simulation of the
+// same double-sided queue, across the three regimes (λ>μ, λ<μ, λ=μ) and a
+// sweep of reneging strengths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/birth_death.h"
+#include "queueing/queue_sim.h"
+#include "util/rng.h"
+
+namespace mrvd {
+namespace {
+
+struct RegimeCase {
+  const char* label;
+  QueueParams params;
+};
+
+void PrintTo(const RegimeCase& c, std::ostream* os) { *os << c.label; }
+
+class QueueRegimeTest : public ::testing::TestWithParam<RegimeCase> {};
+
+TEST_P(QueueRegimeTest, EmpiricalStateDistributionMatchesClosedForm) {
+  const QueueParams& params = GetParam().params;
+  auto chain = BirthDeathChain::Solve(params);
+  ASSERT_TRUE(chain.ok());
+
+  Rng rng(1234);
+  QueueSimResult sim = SimulateDoubleSidedQueue(
+      params, /*horizon_seconds=*/400000.0 / params.lambda, rng,
+      /*warmup_seconds=*/40000.0 / params.lambda);
+
+  // Compare p_n for every state with non-trivial analytic mass.
+  for (int64_t n = -params.max_drivers; n <= 25; ++n) {
+    double analytic = chain->StateProbability(n);
+    if (analytic < 5e-4) continue;
+    double empirical = sim.EmpiricalStateProb(n);
+    EXPECT_NEAR(empirical, analytic, 0.015 + 0.1 * analytic)
+        << "state n=" << n;
+  }
+}
+
+TEST_P(QueueRegimeTest, EmpiricalDriverIdleMatchesConditionalExpectation) {
+  const QueueParams& params = GetParam().params;
+  auto chain = BirthDeathChain::Solve(params);
+  ASSERT_TRUE(chain.ok());
+
+  // The CTMC lets a driver join only when fewer than K congest, so its mean
+  // idle is the idle expectation conditioned on the observed state being
+  // > -K. (Eq. 13 itself integrates over all states down to -K; the two
+  // agree exactly when p_{-K} is negligible, e.g. in the λ>μ regime.)
+  double numer = 0.0, denom = 0.0;
+  for (int64_t n = 25; n > -params.max_drivers; --n) {
+    double p = chain->StateProbability(n);
+    denom += p;
+    if (n <= 0) {
+      numer += (static_cast<double>(-n) + 1.0) / params.lambda * p;
+    }
+  }
+  // Continue the negative tail for the λ>μ regime (unbounded analytically).
+  if (params.lambda > params.mu) {
+    for (int64_t n = -params.max_drivers; n >= -4000; --n) {
+      double p = chain->StateProbability(n);
+      if (p <= 0.0) break;
+      denom += p;
+      numer += (static_cast<double>(-n) + 1.0) / params.lambda * p;
+    }
+  }
+  double conditional_expected = numer / denom;
+
+  Rng rng(99);
+  QueueSimResult sim = SimulateDoubleSidedQueue(
+      params, /*horizon_seconds=*/600000.0 / params.lambda, rng,
+      /*warmup_seconds=*/60000.0 / params.lambda);
+
+  ASSERT_GT(sim.drivers_matched, 1000);
+  EXPECT_NEAR(sim.mean_driver_idle, conditional_expected,
+              0.12 * conditional_expected + 0.05)
+      << GetParam().label;
+}
+
+TEST_P(QueueRegimeTest, RenegingOnlyInPositiveStates) {
+  const QueueParams& params = GetParam().params;
+  Rng rng(7);
+  QueueSimResult sim = SimulateDoubleSidedQueue(
+      params, /*horizon_seconds=*/100000.0 / params.lambda, rng);
+  // Flow sanity: every arrived rider is served, reneged, or still queued.
+  EXPECT_LE(sim.riders_served + sim.riders_reneged, sim.riders_arrived + 50);
+  if (params.lambda > params.mu) {
+    // Overloaded region must shed riders by reneging.
+    EXPECT_GT(sim.riders_reneged, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, QueueRegimeTest,
+    ::testing::Values(
+        RegimeCase{"MoreRiders_2x", {2.0, 1.0, 0.05, 30}},
+        RegimeCase{"MoreRiders_mild", {1.2, 1.0, 0.05, 30}},
+        RegimeCase{"MoreDrivers_mild", {1.0, 1.25, 0.05, 40}},
+        RegimeCase{"Balanced", {1.0, 1.0, 0.05, 30}},
+        RegimeCase{"StrongReneging", {2.0, 1.0, 0.4, 20}},
+        RegimeCase{"WeakReneging", {1.5, 1.0, 0.005, 20}},
+        RegimeCase{"HighVolume", {6.0, 4.0, 0.05, 25}}),
+    [](const ::testing::TestParamInfo<RegimeCase>& info) {
+      return info.param.label;
+    });
+
+// --- ET-series truncation ablation: the infinite positive-tail sums of
+// Eqs. 9/12/15 must be insensitive to the truncation threshold.
+TEST(SeriesTruncationTest, TailContributionIsNegligible) {
+  for (double beta : {0.01, 0.05, 0.2}) {
+    auto chain = BirthDeathChain::Solve({2.0, 1.0, beta, 20});
+    ASSERT_TRUE(chain.ok());
+    // Sum the analytic tail beyond what the solver kept: must be tiny.
+    int64_t tail_start = chain->positive_tail_length();
+    // If the solver kept the whole support, StateProbability is 0 beyond.
+    double beyond = chain->StateProbability(tail_start + 1);
+    EXPECT_LT(beyond, 1e-10) << "beta=" << beta;
+  }
+}
+
+}  // namespace
+}  // namespace mrvd

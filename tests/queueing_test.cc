@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/birth_death.h"
+#include "queueing/rates.h"
+
+namespace mrvd {
+namespace {
+
+// --------------------------------------------------------- validation
+
+TEST(BirthDeathTest, RejectsBadParameters) {
+  EXPECT_FALSE(BirthDeathChain::Solve({0.0, 1.0, 0.0, 5}).ok());
+  EXPECT_FALSE(BirthDeathChain::Solve({1.0, 0.0, 0.0, 5}).ok());
+  EXPECT_FALSE(BirthDeathChain::Solve({1.0, 1.0, -0.1, 5}).ok());
+  EXPECT_FALSE(BirthDeathChain::Solve({1.0, 1.0, 0.0, -1}).ok());
+  EXPECT_TRUE(BirthDeathChain::Solve({1.0, 1.0, 0.0, 0}).ok());
+}
+
+TEST(RenegingFunctionTest, MatchesDefinition) {
+  RenegingFunction pi(0.1, 2.0);
+  EXPECT_NEAR(pi(1), std::exp(0.1) / 2.0, 1e-12);
+  EXPECT_NEAR(pi(10), std::exp(1.0) / 2.0, 1e-12);
+  // beta = 0: constant 1/mu.
+  RenegingFunction flat(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(flat(1), 0.25);
+  EXPECT_DOUBLE_EQ(flat(100), 0.25);
+}
+
+// ------------------------------------------------- distribution shape
+
+double SumStateProbabilities(const BirthDeathChain& chain, int64_t lo,
+                             int64_t hi) {
+  double s = 0.0;
+  for (int64_t n = lo; n <= hi; ++n) s += chain.StateProbability(n);
+  return s;
+}
+
+TEST(BirthDeathTest, ProbabilitiesSumToOneMoreRiders) {
+  auto chain = BirthDeathChain::Solve({2.0, 1.0, 0.05, 50});
+  ASSERT_TRUE(chain.ok());
+  // λ > μ: negative side extends far; sum a generous range.
+  double total = SumStateProbabilities(*chain, -2000,
+                                       chain->positive_tail_length());
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(BirthDeathTest, ProbabilitiesSumToOneMoreDrivers) {
+  auto chain = BirthDeathChain::Solve({1.0, 1.6, 0.05, 40});
+  ASSERT_TRUE(chain.ok());
+  double total =
+      SumStateProbabilities(*chain, -40, chain->positive_tail_length());
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(BirthDeathTest, ProbabilitiesSumToOneBalanced) {
+  auto chain = BirthDeathChain::Solve({1.0, 1.0, 0.05, 30});
+  ASSERT_TRUE(chain.ok());
+  double total =
+      SumStateProbabilities(*chain, -30, chain->positive_tail_length());
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(BirthDeathTest, FlowBalanceHoldsAcrossEveryCut) {
+  // Eq. 5: mu_n p_n == lambda p_{n-1}.
+  QueueParams params{1.3, 0.9, 0.08, 25};
+  auto chain = BirthDeathChain::Solve(params);
+  ASSERT_TRUE(chain.ok());
+  RenegingFunction pi(params.beta, params.mu);
+  for (int64_t n = -20; n <= 15; ++n) {
+    if (n == -25) continue;
+    double mu_n = n <= 0 ? params.mu : params.mu + pi(n);
+    double lhs = mu_n * chain->StateProbability(n);
+    double rhs = params.lambda * chain->StateProbability(n - 1);
+    EXPECT_NEAR(lhs, rhs, 1e-9 * (1.0 + lhs)) << "cut at n=" << n;
+  }
+}
+
+TEST(BirthDeathTest, NegativeStatesGeometricWhenLambdaLarger) {
+  // Eq. 6 for n < 0: p_n = p0 (mu/lambda)^{-n}.
+  auto chain = BirthDeathChain::Solve({2.0, 1.0, 0.1, 10});
+  ASSERT_TRUE(chain.ok());
+  double p0 = chain->p0();
+  for (int64_t j = 1; j <= 8; ++j) {
+    EXPECT_NEAR(chain->StateProbability(-j), p0 * std::pow(0.5, j), 1e-12);
+  }
+}
+
+TEST(BirthDeathTest, StatesBeyondCapHaveZeroProbability) {
+  auto chain = BirthDeathChain::Solve({1.0, 2.0, 0.1, 7});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_GT(chain->StateProbability(-7), 0.0);
+  EXPECT_DOUBLE_EQ(chain->StateProbability(-8), 0.0);
+  EXPECT_DOUBLE_EQ(chain->StateProbability(-100), 0.0);
+}
+
+// ----------------------------------------------- closed forms (Eqs. 9-16)
+
+TEST(BirthDeathTest, P0MatchesEquation9AnalyticBetaZero) {
+  // With beta = 0, pi(n) = 1/mu and the positive side is geometric with
+  // ratio q = lambda / (mu + 1/mu); Eq. 9 has the closed form
+  // p0 = 1 / (lambda/(lambda-mu) + q/(1-q)).
+  double lambda = 2.0, mu = 1.5;
+  double q = lambda / (mu + 1.0 / mu);
+  ASSERT_LT(q, 1.0);
+  double expected_p0 = 1.0 / (lambda / (lambda - mu) + q / (1.0 - q));
+  auto chain = BirthDeathChain::Solve({lambda, mu, 0.0, 10});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_NEAR(chain->p0(), expected_p0, 1e-9);
+}
+
+TEST(BirthDeathTest, IdleTimeMatchesEquation10) {
+  // Eq. 10: ET = lambda p0 / (lambda - mu)^2 for lambda > mu.
+  QueueParams params{1.8, 1.1, 0.07, 30};
+  auto chain = BirthDeathChain::Solve(params);
+  ASSERT_TRUE(chain.ok());
+  double expected = params.lambda * chain->p0() /
+                    ((params.lambda - params.mu) * (params.lambda - params.mu));
+  EXPECT_NEAR(chain->ExpectedIdleSeconds(), expected, 1e-9 * expected);
+}
+
+TEST(BirthDeathTest, IdleTimeMatchesEquation13) {
+  // Eq. 13 for lambda < mu with moderate K (closed form computed directly).
+  double lambda = 1.0, mu = 1.5;
+  int64_t K = 12;
+  double theta = mu / lambda;
+  QueueParams params{lambda, mu, 0.06, K};
+  auto chain = BirthDeathChain::Solve(params);
+  ASSERT_TRUE(chain.ok());
+  double p0 = chain->p0();
+  double kk = static_cast<double>(K);
+  double expected =
+      p0 / lambda *
+      ((kk + 1.0) * std::pow(theta, kk + 2.0) -
+       (kk + 2.0) * std::pow(theta, kk + 1.0) + 1.0) /
+      ((theta - 1.0) * (theta - 1.0));
+  EXPECT_NEAR(chain->ExpectedIdleSeconds(), expected, 1e-9 * expected);
+}
+
+TEST(BirthDeathTest, IdleTimeMatchesEquation16) {
+  // Eq. 16: ET = p0 (K+1)(K+2) / (2 lambda) for lambda == mu.
+  double lambda = 0.8;
+  int64_t K = 9;
+  auto chain = BirthDeathChain::Solve({lambda, lambda, 0.04, K});
+  ASSERT_TRUE(chain.ok());
+  double expected = chain->p0() * (K + 1.0) * (K + 2.0) / (2.0 * lambda);
+  EXPECT_NEAR(chain->ExpectedIdleSeconds(), expected, 1e-9 * expected);
+}
+
+TEST(BirthDeathTest, IdleTimeEqualsDirectExpectationSum) {
+  // ET must equal  sum_{n<=0} (|n|+1)/lambda * p_n  in every regime.
+  for (QueueParams params : {QueueParams{2.0, 1.0, 0.05, 20},
+                             QueueParams{1.0, 1.7, 0.05, 20},
+                             QueueParams{1.2, 1.2, 0.05, 20}}) {
+    auto chain = BirthDeathChain::Solve(params);
+    ASSERT_TRUE(chain.ok());
+    double direct = 0.0;
+    for (int64_t n = 0; n >= -3000; --n) {
+      double p = chain->StateProbability(n);
+      direct += (static_cast<double>(-n) + 1.0) / params.lambda * p;
+      if (p == 0.0 && n < -static_cast<int64_t>(params.max_drivers)) break;
+    }
+    EXPECT_NEAR(chain->ExpectedIdleSeconds(), direct,
+                1e-6 * (1.0 + direct))
+        << "lambda=" << params.lambda << " mu=" << params.mu;
+  }
+}
+
+// ----------------------------------------------------------- monotonicity
+
+TEST(BirthDeathTest, IdleTimeIncreasesWithDriverRate) {
+  // More rejoining drivers -> longer expected idle (core of Lemma 5.1).
+  double prev = 0.0;
+  for (double mu : {0.5, 0.8, 1.1, 1.4, 1.7}) {
+    auto chain = BirthDeathChain::Solve({1.0, mu, 0.05, 25});
+    ASSERT_TRUE(chain.ok());
+    EXPECT_GT(chain->ExpectedIdleSeconds(), prev) << "mu=" << mu;
+    prev = chain->ExpectedIdleSeconds();
+  }
+}
+
+TEST(BirthDeathTest, IdleTimeDecreasesWithRiderRate) {
+  double prev = 1e100;
+  for (double lambda : {0.5, 0.8, 1.1, 1.4, 1.7}) {
+    auto chain = BirthDeathChain::Solve({lambda, 1.0, 0.05, 25});
+    ASSERT_TRUE(chain.ok());
+    EXPECT_LT(chain->ExpectedIdleSeconds(), prev) << "lambda=" << lambda;
+    prev = chain->ExpectedIdleSeconds();
+  }
+}
+
+TEST(BirthDeathTest, StrongerRenegingRaisesP0) {
+  // Larger beta sheds positive states faster, pushing mass toward 0.
+  auto weak = BirthDeathChain::Solve({2.0, 1.0, 0.01, 20});
+  auto strong = BirthDeathChain::Solve({2.0, 1.0, 0.5, 20});
+  ASSERT_TRUE(weak.ok() && strong.ok());
+  EXPECT_GT(strong->ExpectedIdleSeconds(), 0.0);
+  EXPECT_GT(strong->p0(), weak->p0());
+  EXPECT_LT(strong->ProbabilityRidersWaiting(),
+            weak->ProbabilityRidersWaiting());
+}
+
+// ---------------------------------------------------------- numerics
+
+TEST(BirthDeathTest, LargeCapDoesNotOverflow) {
+  auto chain = BirthDeathChain::Solve({1.0, 2.0, 0.05, 10000});
+  ASSERT_TRUE(chain.ok());
+  double et = chain->ExpectedIdleSeconds();
+  EXPECT_TRUE(std::isfinite(et));
+  // Deep congestion: idle close to (K+1 .. ish)/lambda but must not blow up.
+  EXPECT_GT(et, 100.0);
+  EXPECT_LT(et, 20002.0);
+  // p0 may underflow but the deep states carry the mass.
+  EXPECT_GT(chain->StateProbability(-10000), 0.4);
+}
+
+TEST(BirthDeathTest, NearCriticalRegimeIsStable) {
+  // theta barely above 1 must not hit the (theta-1)^2 singularity.
+  auto chain = BirthDeathChain::Solve({1.0, 1.0 + 1e-9, 0.05, 50});
+  ASSERT_TRUE(chain.ok());
+  auto balanced = BirthDeathChain::Solve({1.0, 1.0, 0.05, 50});
+  ASSERT_TRUE(balanced.ok());
+  EXPECT_NEAR(chain->ExpectedIdleSeconds(), balanced->ExpectedIdleSeconds(),
+              1e-4 * balanced->ExpectedIdleSeconds());
+}
+
+TEST(EstimateIdleTimeTest, ClampsDegenerateRates) {
+  // Zero rates hit the floor instead of failing.
+  double et = EstimateIdleTimeSeconds(0.0, 0.0, 0, 0.0, 3600.0);
+  EXPECT_TRUE(std::isfinite(et));
+  EXPECT_LE(et, 3600.0);
+  EXPECT_GE(et, 0.0);
+}
+
+TEST(EstimateIdleTimeTest, CapsAtMaxIdle) {
+  // Tiny rider rate -> astronomic idle, clamped to the cap.
+  double et = EstimateIdleTimeSeconds(1e-6, 1.0, 100, 0.02, 1800.0);
+  EXPECT_DOUBLE_EQ(et, 1800.0);
+}
+
+TEST(EstimateIdleTimeTest, BusyRegionNearZeroIdle) {
+  // Lots of riders, few drivers: a rejoining driver is re-tasked instantly.
+  double et = EstimateIdleTimeSeconds(5.0, 0.2, 10, 0.02);
+  EXPECT_LT(et, 2.0);
+}
+
+// ------------------------------------------------------ rate estimation
+
+TEST(RegionRatesTest, RiderSurplusFoldsIntoLambda) {
+  // Eq. 18 lower branch: |R_k| > |D_k|.
+  RegionSnapshot snap;
+  snap.waiting_riders = 30;
+  snap.available_drivers = 10;
+  snap.predicted_riders = 60.0;
+  snap.predicted_drivers = 40.0;
+  RegionRates r = EstimateRegionRates(snap, 1200.0);
+  EXPECT_NEAR(r.lambda, (60.0 + 30.0 - 10.0) / 1200.0, 1e-12);
+  EXPECT_NEAR(r.mu, 40.0 / 1200.0, 1e-12);
+}
+
+TEST(RegionRatesTest, DriverSurplusFoldsIntoMu) {
+  // Eq. 19 upper branch: |R_k| <= |D_k|.
+  RegionSnapshot snap;
+  snap.waiting_riders = 5;
+  snap.available_drivers = 25;
+  snap.predicted_riders = 50.0;
+  snap.predicted_drivers = 20.0;
+  RegionRates r = EstimateRegionRates(snap, 600.0);
+  EXPECT_NEAR(r.lambda, 50.0 / 600.0, 1e-12);
+  EXPECT_NEAR(r.mu, (20.0 + 25.0 - 5.0) / 600.0, 1e-12);
+}
+
+TEST(RegionRatesTest, NeverNegative) {
+  RegionSnapshot snap;  // all zeros
+  RegionRates r = EstimateRegionRates(snap, 1200.0);
+  EXPECT_GE(r.lambda, 0.0);
+  EXPECT_GE(r.mu, 0.0);
+}
+
+}  // namespace
+}  // namespace mrvd

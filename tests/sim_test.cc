@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "dispatch/dispatchers.h"
+#include "geo/travel.h"
+#include "sim/engine.h"
+#include "workload/types.h"
+
+namespace mrvd {
+namespace {
+
+// Handcrafted scenarios over the NYC grid; straight-line cost at 10 m/s
+// without detour so travel times are easy to reason about.
+class SimTest : public ::testing::Test {
+ protected:
+  SimTest() : grid_(kNycBoundingBox, 4, 4), cost_(10.0, 1.0) {}
+
+  Order MakeOrder(OrderId id, double t, LatLon pickup, LatLon dropoff,
+                  double deadline_slack) {
+    Order o;
+    o.id = id;
+    o.request_time = t;
+    o.pickup = pickup;
+    o.dropoff = dropoff;
+    o.pickup_deadline = t + deadline_slack;
+    return o;
+  }
+
+  Grid grid_;
+  StraightLineCostModel cost_;
+};
+
+TEST_F(SimTest, SingleRiderIsServedAndRevenueMatchesTripCost) {
+  Workload w;
+  LatLon a{40.70, -74.00}, b{40.75, -73.95};
+  w.orders.push_back(MakeOrder(0, 5.0, a, b, 300.0));
+  w.drivers.push_back({0, a, 0.0});
+  w.horizon_seconds = 3600.0;
+
+  SimConfig cfg;
+  cfg.batch_interval = 1.0;
+  cfg.horizon_seconds = 3600.0;
+  Simulator sim(cfg, w, grid_, cost_, nullptr);
+  auto near = MakeNearestDispatcher();
+  SimResult r = sim.Run(*near);
+
+  EXPECT_EQ(r.served_orders, 1);
+  EXPECT_EQ(r.reneged_orders, 0);
+  EXPECT_NEAR(r.total_revenue, cost_.TravelSeconds(a, b), 1e-9);
+  EXPECT_EQ(r.total_orders, 1);
+}
+
+TEST_F(SimTest, AlphaScalesRevenue) {
+  Workload w;
+  LatLon a{40.70, -74.00}, b{40.75, -73.95};
+  w.orders.push_back(MakeOrder(0, 0.0, a, b, 300.0));
+  w.drivers.push_back({0, a, 0.0});
+
+  SimConfig cfg;
+  cfg.batch_interval = 1.0;
+  cfg.horizon_seconds = 600.0;
+  cfg.alpha = 2.5;
+  Simulator sim(cfg, w, grid_, cost_, nullptr);
+  auto near = MakeNearestDispatcher();
+  SimResult r = sim.Run(*near);
+  EXPECT_NEAR(r.total_revenue, 2.5 * cost_.TravelSeconds(a, b), 1e-9);
+}
+
+TEST_F(SimTest, UnreachableRiderReneges) {
+  Workload w;
+  LatLon far_sw{40.59, -74.02}, far_ne{40.91, -73.78};
+  // ~40 km apart; at 10 m/s that's ~4000 s, far over a 60 s deadline.
+  w.orders.push_back(MakeOrder(0, 0.0, far_ne, far_sw, 60.0));
+  w.drivers.push_back({0, far_sw, 0.0});
+
+  SimConfig cfg;
+  cfg.batch_interval = 1.0;
+  cfg.horizon_seconds = 600.0;
+  Simulator sim(cfg, w, grid_, cost_, nullptr);
+  auto near = MakeNearestDispatcher();
+  SimResult r = sim.Run(*near);
+  EXPECT_EQ(r.served_orders, 0);
+  EXPECT_EQ(r.reneged_orders, 1);
+  EXPECT_DOUBLE_EQ(r.total_revenue, 0.0);
+}
+
+TEST_F(SimTest, DriverRejoinsAtDestinationAndServesNextRider) {
+  LatLon a{40.70, -74.00}, b{40.75, -73.95}, c{40.76, -73.94};
+  Workload w;
+  w.orders.push_back(MakeOrder(0, 0.0, a, b, 300.0));
+  // Second rider appears near b well after the first trip completes.
+  double trip1 = cost_.TravelSeconds(a, b);
+  w.orders.push_back(MakeOrder(1, trip1 + 100.0, b, c, 300.0));
+  w.drivers.push_back({0, a, 0.0});
+
+  SimConfig cfg;
+  cfg.batch_interval = 1.0;
+  cfg.horizon_seconds = 7200.0;
+  Simulator sim(cfg, w, grid_, cost_, nullptr);
+  auto near = MakeNearestDispatcher();
+  SimResult r = sim.Run(*near);
+  EXPECT_EQ(r.served_orders, 2);
+  EXPECT_NEAR(r.total_revenue,
+              cost_.TravelSeconds(a, b) + cost_.TravelSeconds(b, c), 1e-9);
+}
+
+TEST_F(SimTest, BusyDriverCannotServeSecondRider) {
+  LatLon a{40.70, -74.00}, b{40.75, -73.95};
+  Workload w;
+  w.orders.push_back(MakeOrder(0, 0.0, a, b, 300.0));
+  // Second rider posts immediately after with a short deadline; the only
+  // driver is busy for the whole window.
+  w.orders.push_back(MakeOrder(1, 2.0, a, b, 100.0));
+  w.drivers.push_back({0, a, 0.0});
+
+  SimConfig cfg;
+  cfg.batch_interval = 1.0;
+  cfg.horizon_seconds = 3600.0;
+  Simulator sim(cfg, w, grid_, cost_, nullptr);
+  auto near = MakeNearestDispatcher();
+  SimResult r = sim.Run(*near);
+  EXPECT_EQ(r.served_orders, 1);
+  EXPECT_EQ(r.reneged_orders, 1);
+}
+
+TEST_F(SimTest, BatchQuantizationDelaysAssignment) {
+  // Rider posts at t=0.2; with Δ=30 the first dispatch happens at t=30.
+  LatLon a{40.70, -74.00}, b{40.75, -73.95};
+  Workload w;
+  w.orders.push_back(MakeOrder(0, 0.2, a, b, 300.0));
+  w.drivers.push_back({0, a, 0.0});
+
+  SimConfig cfg;
+  cfg.batch_interval = 30.0;
+  cfg.horizon_seconds = 3600.0;
+  Simulator sim(cfg, w, grid_, cost_, nullptr);
+  auto near = MakeNearestDispatcher();
+  SimResult r = sim.Run(*near);
+  ASSERT_EQ(r.served_orders, 1);
+  EXPECT_NEAR(r.served_wait_seconds.mean(), 30.0 - 0.2, 1e-9);
+}
+
+TEST_F(SimTest, LargerDeltaCannotServeTightDeadlines) {
+  // Deadline slack 20 s, batches every 30 s: rider expires before dispatch.
+  LatLon a{40.70, -74.00}, b{40.75, -73.95};
+  Workload w;
+  w.orders.push_back(MakeOrder(0, 1.0, a, b, 20.0));
+  w.drivers.push_back({0, a, 0.0});
+
+  SimConfig cfg;
+  cfg.batch_interval = 30.0;
+  cfg.horizon_seconds = 600.0;
+  Simulator sim(cfg, w, grid_, cost_, nullptr);
+  auto near = MakeNearestDispatcher();
+  SimResult r = sim.Run(*near);
+  EXPECT_EQ(r.served_orders, 0);
+  EXPECT_EQ(r.reneged_orders, 1);
+}
+
+TEST_F(SimTest, ZeroPickupModeServesDistantPairs) {
+  LatLon far_sw{40.59, -74.02}, far_ne{40.91, -73.78};
+  Workload w;
+  w.orders.push_back(MakeOrder(0, 0.0, far_ne, far_sw, 30.0));
+  w.drivers.push_back({0, far_sw, 0.0});
+
+  SimConfig cfg;
+  cfg.batch_interval = 1.0;
+  cfg.horizon_seconds = 600.0;
+  cfg.zero_pickup_travel = true;
+  Simulator sim(cfg, w, grid_, cost_, nullptr);
+  auto upper = MakeUpperBoundDispatcher();
+  SimResult r = sim.Run(*upper);
+  EXPECT_EQ(r.served_orders, 1);
+  EXPECT_NEAR(r.total_revenue, cost_.TravelSeconds(far_ne, far_sw), 1e-9);
+}
+
+TEST_F(SimTest, IdleSamplesRecordedOnAssignment) {
+  LatLon a{40.70, -74.00}, b{40.75, -73.95};
+  Workload w;
+  w.orders.push_back(MakeOrder(0, 50.0, a, b, 300.0));
+  w.drivers.push_back({0, a, 0.0});
+
+  SimConfig cfg;
+  cfg.batch_interval = 1.0;
+  cfg.horizon_seconds = 3600.0;
+  cfg.record_idle_samples = true;
+  Simulator sim(cfg, w, grid_, cost_, nullptr);
+  auto near = MakeNearestDispatcher();
+  SimResult r = sim.Run(*near);
+  ASSERT_EQ(r.idle_error.count(), 1);
+  // The driver joined at t=0 and was assigned at t=51 (first batch after
+  // the rider posted at 50).
+  EXPECT_NEAR(r.driver_idle_seconds.mean(), 51.0, 1.0);
+  // Per-region aggregation went to the driver's join region.
+  RegionId reg = grid_.RegionOf(a);
+  EXPECT_EQ(r.region_idle[static_cast<size_t>(reg)].count, 1);
+}
+
+TEST_F(SimTest, UnservedRidersAtHorizonCountAsReneged) {
+  LatLon a{40.70, -74.00}, b{40.75, -73.95};
+  Workload w;
+  w.orders.push_back(MakeOrder(0, 100.0, a, b, 1e9));  // never expires
+  // No drivers at all.
+  SimConfig cfg;
+  cfg.batch_interval = 10.0;
+  cfg.horizon_seconds = 800.0;
+  Simulator sim(cfg, w, grid_, cost_, nullptr);
+  auto near = MakeNearestDispatcher();
+  SimResult r = sim.Run(*near);
+  EXPECT_EQ(r.served_orders, 0);
+  EXPECT_EQ(r.reneged_orders, 1);
+}
+
+}  // namespace
+}  // namespace mrvd

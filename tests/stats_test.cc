@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/chi_square.h"
+#include "stats/distributions.h"
+#include "stats/metrics.h"
+#include "util/rng.h"
+
+namespace mrvd {
+namespace {
+
+// ----------------------------------------------------------------- metrics
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic example
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(ErrorStatsTest, MaeAndRmse) {
+  ErrorStats e;
+  e.Add(10.0, 12.0);  // err -2
+  e.Add(14.0, 12.0);  // err +2
+  EXPECT_DOUBLE_EQ(e.Mae(), 2.0);
+  EXPECT_DOUBLE_EQ(e.RealRmse(), 2.0);
+  EXPECT_DOUBLE_EQ(e.MeanActual(), 12.0);
+  EXPECT_NEAR(e.RelativeRmsePct(), 100.0 * 2.0 / 12.0, 1e-9);
+}
+
+TEST(ErrorStatsTest, PerfectEstimates) {
+  ErrorStats e;
+  e.Add(5.0, 5.0);
+  EXPECT_DOUBLE_EQ(e.Mae(), 0.0);
+  EXPECT_DOUBLE_EQ(e.RealRmse(), 0.0);
+  EXPECT_DOUBLE_EQ(e.RelativeRmsePct(), 0.0);
+}
+
+TEST(RmseTest, VectorForm) {
+  EXPECT_DOUBLE_EQ(Rmse({1.0, 2.0}, {1.0, 4.0}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(Rmse({}, {}), 0.0);
+}
+
+// ----------------------------------------------------- special functions
+
+TEST(DistributionsTest, LogGammaMatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(std::exp(LogGamma(5.0)), 24.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogGamma(1.0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(LogGamma(0.5)), std::sqrt(M_PI), 1e-9);
+}
+
+TEST(DistributionsTest, RegularizedGammaPBounds) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 700.0), 1.0, 1e-12);
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(RegularizedGammaP(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-10);
+}
+
+TEST(DistributionsTest, PoissonPmfSumsToOne) {
+  double total = 0.0;
+  for (int64_t k = 0; k < 100; ++k) total += PoissonPmf(8.0, k);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(DistributionsTest, PoissonCdfMatchesPmfSum) {
+  double mean = 6.5;
+  double acc = 0.0;
+  for (int64_t k = 0; k <= 10; ++k) acc += PoissonPmf(mean, k);
+  EXPECT_NEAR(PoissonCdf(mean, 10), acc, 1e-9);
+}
+
+TEST(DistributionsTest, PoissonZeroMean) {
+  EXPECT_DOUBLE_EQ(PoissonPmf(0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonPmf(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(PoissonCdf(0.0, 0), 1.0);
+}
+
+TEST(DistributionsTest, ChiSquareCriticalValuesMatchPaperTable) {
+  // The critical values quoted in Tables 7/8 of the paper.
+  EXPECT_NEAR(ChiSquareCriticalValue(6, 0.05), 12.592, 0.005);
+  EXPECT_NEAR(ChiSquareCriticalValue(5, 0.05), 11.070, 0.005);
+  EXPECT_NEAR(ChiSquareCriticalValue(4, 0.05), 9.488, 0.005);
+}
+
+TEST(DistributionsTest, ChiSquareCdfMonotone) {
+  double prev = -1.0;
+  for (double x = 0.5; x < 30.0; x += 0.5) {
+    double c = ChiSquareCdf(x, 6);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(DistributionsTest, FitPoissonMeanIsSampleMean) {
+  EXPECT_DOUBLE_EQ(FitPoissonMean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(FitPoissonMean({}), 0.0);
+}
+
+// -------------------------------------------------------- chi-square test
+
+std::vector<int64_t> PoissonSamples(double mean, int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> s;
+  s.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) s.push_back(rng.Poisson(mean));
+  return s;
+}
+
+TEST(ChiSquareTest, AcceptsGenuinePoisson) {
+  // 210 samples like the paper's 21 working days x 10 minutes.
+  int accepted = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto samples = PoissonSamples(70.0, 210, seed);
+    auto result = ChiSquarePoissonTest(samples);
+    ASSERT_TRUE(result.ok()) << result.status();
+    accepted += result->reject ? 0 : 1;
+  }
+  // At alpha=0.05 we expect ~9.5/10 acceptances; allow one extra failure.
+  EXPECT_GE(accepted, 8);
+}
+
+TEST(ChiSquareTest, RejectsUniformCounts) {
+  // Uniform on [0, 140] has the same mean as Poisson(70) but far larger
+  // variance; the test must reject decisively.
+  Rng rng(42);
+  std::vector<int64_t> samples;
+  for (int i = 0; i < 210; ++i) samples.push_back(rng.UniformInt(0, 140));
+  auto result = ChiSquarePoissonTest(samples);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->reject);
+  EXPECT_GT(result->statistic, result->critical_value * 2);
+}
+
+TEST(ChiSquareTest, RejectsBimodalCounts) {
+  std::vector<int64_t> samples;
+  for (int i = 0; i < 105; ++i) samples.push_back(20);
+  for (int i = 0; i < 105; ++i) samples.push_back(120);
+  auto result = ChiSquarePoissonTest(samples);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->reject);
+}
+
+TEST(ChiSquareTest, RequiresEnoughSamples) {
+  auto result = ChiSquarePoissonTest({1, 2, 3});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ChiSquareTest, RejectsNegativeCounts) {
+  std::vector<int64_t> samples(30, 5);
+  samples[0] = -1;
+  EXPECT_FALSE(ChiSquarePoissonTest(samples).ok());
+}
+
+TEST(ChiSquareTest, BucketsCoverAllSamples) {
+  auto samples = PoissonSamples(50.0, 210, 3);
+  auto result = ChiSquarePoissonTest(samples);
+  ASSERT_TRUE(result.ok());
+  int64_t total = 0;
+  for (const auto& b : result->buckets) total += b.observed;
+  EXPECT_EQ(total, 210);
+  // Expected counts should also roughly total n.
+  double etotal = 0.0;
+  for (const auto& b : result->buckets) etotal += b.expected;
+  EXPECT_NEAR(etotal, 210.0, 1.0);
+  // Merged buckets satisfy the validity rule.
+  for (const auto& b : result->buckets) EXPECT_GE(b.expected, 4.99);
+}
+
+TEST(ChiSquareTest, DofIsBucketsMinusOne) {
+  auto samples = PoissonSamples(60.0, 210, 7);
+  auto result = ChiSquarePoissonTest(samples);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dof, result->num_intervals - 1);
+  EXPECT_FALSE(result->ToString().empty());
+}
+
+}  // namespace
+}  // namespace mrvd

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/csv.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace mrvd {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad lambda");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad lambda");
+}
+
+TEST(StatusTest, StatusOrValuePath) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusTest, StatusOrErrorPath) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() -> Status { return Status::IoError("disk"); };
+  auto outer = [&]() -> Status {
+    MRVD_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kIoError);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextUint64() == b.NextUint64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng base(99);
+  Rng f1 = base.Fork(1);
+  Rng f2 = base.Fork(2);
+  EXPECT_NE(f1.NextUint64(), f2.NextUint64());
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, PoissonSmallMeanMatchesMoments) {
+  Rng rng(8);
+  const double mean = 4.2;
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    auto v = static_cast<double>(rng.Poisson(mean));
+    sum += v;
+    sq += v * v;
+  }
+  double m = sum / n;
+  double var = sq / n - m * m;
+  EXPECT_NEAR(m, mean, 0.05);
+  EXPECT_NEAR(var, mean, 0.15);  // Poisson: variance == mean
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(9);
+  const double mean = 250.0;
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 1.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(10);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double m = sum / n;
+  EXPECT_NEAR(m, 3.0, 0.03);
+  EXPECT_NEAR(sq / n - m * m, 4.0, 0.1);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(11);
+  ZipfTable table(100, 1.2);
+  int64_t low = 0, n = 20000;
+  for (int64_t i = 0; i < n; ++i) low += table.Sample(rng) < 10;
+  // With s=1.2 the first 10 ranks carry well over half the mass.
+  EXPECT_GT(static_cast<double>(low) / static_cast<double>(n), 0.5);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y \r\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" -2e3 "), -2000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringsTest, ParseInt64Strict) {
+  EXPECT_EQ(*ParseInt64("-42"), -42);
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+  EXPECT_FALSE(ParseInt64("x").ok());
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto f = ParseCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto f = ParseCsvLine(R"(x,"hello, world","a ""q"" b")");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "hello, world");
+  EXPECT_EQ(f[2], "a \"q\" b");
+}
+
+TEST(CsvTest, RoundTripThroughFile) {
+  auto path = std::filesystem::temp_directory_path() / "mrvd_csv_test.csv";
+  {
+    CsvWriter writer(path.string());
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"h1", "h2"});
+    writer.WriteRow({"v,1", "v\"2\""});
+    writer.WriteRow({"3", "4"});
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header;
+  auto st = ReadCsvFile(
+      path.string(), /*has_header=*/true,
+      [&](const std::vector<std::string>& h) { header = h; },
+      [&](const std::vector<std::string>& r) {
+        rows.push_back(r);
+        return true;
+      });
+  ASSERT_TRUE(st.ok()) << st;
+  ASSERT_EQ(header.size(), 2u);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "v,1");
+  EXPECT_EQ(rows[0][1], "v\"2\"");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto st = ReadCsvFile("/nonexistent/definitely_missing.csv", false, nullptr,
+                        [](const auto&) { return true; });
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, EarlyStopViaRowCallback) {
+  auto path = std::filesystem::temp_directory_path() / "mrvd_csv_stop.csv";
+  {
+    CsvWriter writer(path.string());
+    for (int i = 0; i < 10; ++i) writer.WriteRow({std::to_string(i)});
+  }
+  int count = 0;
+  auto st = ReadCsvFile(path.string(), false, nullptr,
+                        [&](const auto&) { return ++count < 3; });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(count, 3);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BucketsAndSummary) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(i + 0.5);
+  EXPECT_EQ(h.count(), 10);
+  for (int b = 0; b < 10; ++b) EXPECT_EQ(h.bucket_count(b), 1);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 9.5);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(2.0);
+  h.Add(0.5);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.count(), 3);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.Add(i % 100 + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 2.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a(0, 10, 10), b(0, 10, 10);
+  a.Add(1.5);
+  b.Add(8.5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.bucket_count(1), 1);
+  EXPECT_EQ(a.bucket_count(8), 1);
+  EXPECT_DOUBLE_EQ(a.max(), 8.5);
+}
+
+}  // namespace
+}  // namespace mrvd
