@@ -107,12 +107,7 @@ struct BatchFixture {
 void BM_OneBatchDispatch(benchmark::State& state, const char* which) {
   BatchFixture fx(static_cast<int>(state.range(0)),
                   static_cast<int>(state.range(1)));
-  std::unique_ptr<Dispatcher> d;
-  std::string name(which);
-  if (name == "IRG") d = MakeIrgDispatcher();
-  if (name == "LS") d = MakeLocalSearchDispatcher();
-  if (name == "NEAR") d = MakeNearestDispatcher();
-  if (name == "POLAR") d = MakePolarDispatcher();
+  std::unique_ptr<Dispatcher> d = MakeDispatcherByName(which);
   for (auto _ : state) {
     std::vector<Assignment> out;
     d->Dispatch(fx.ctx, &out);

@@ -1,0 +1,214 @@
+// Micro-benchmark of the region-sharded parallel dispatch pipeline:
+// serial vs. sharded per-batch latency for IRG / LS / SHORT on one
+// synthetic NYC-scale batch, swept over thread counts.
+//
+// Emits BENCH_pipeline.json (override the path with MRVD_BENCH_JSON) with
+// one record per (dispatcher, threads): median per-batch milliseconds and
+// speedup over the serial run. Every sharded run is also checked for
+// bit-identical assignments against the serial baseline, so the bench
+// doubles as a large-scale equivalence harness.
+//
+// Scale knobs (env):
+//   MRVD_BENCH_RIDERS   riders in the batch   (default 1200)
+//   MRVD_BENCH_DRIVERS  drivers in the batch  (default 900)
+//   MRVD_BENCH_REPS     timed repetitions     (default 5)
+//   MRVD_BENCH_THREADS  max threads swept     (default 8)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dispatch/dispatchers.h"
+#include "geo/region_partitioner.h"
+#include "geo/travel.h"
+#include "sim/batch.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace mrvd {
+namespace {
+
+int EnvInt(const char* name, int fallback, int min_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  int parsed = std::atoi(v);  // non-numeric -> 0 -> clamped
+  return parsed < min_value ? min_value : parsed;
+}
+
+/// One synthetic batch at NYC scale: Zipf-skewed pickups over the 16x16
+/// grid (the Manhattan-core concentration of Fig. 5) and gravity-style
+/// dropoffs, fully deterministic from the seed.
+std::unique_ptr<BatchContext> MakeBatch(const Grid& grid,
+                                        const TravelCostModel& cost,
+                                        int num_riders, int num_drivers,
+                                        uint64_t seed) {
+  auto ctx = std::make_unique<BatchContext>(
+      /*now=*/3600.0, /*window=*/1200.0, /*beta=*/0.02, grid, cost,
+      CandidateMode::kRingExpand);
+  Rng rng(seed);
+  ZipfTable hotspots(grid.num_regions(), /*s=*/0.9);
+  auto point_in = [&](RegionId region) {
+    BoundingBox cell = grid.CellBox(region);
+    return LatLon{rng.Uniform(cell.lat_min, cell.lat_max),
+                  rng.Uniform(cell.lon_min, cell.lon_max)};
+  };
+  for (int i = 0; i < num_riders; ++i) {
+    WaitingRider r;
+    r.order_id = i;
+    r.pickup = point_in(static_cast<RegionId>(hotspots.Sample(rng)));
+    r.dropoff = point_in(static_cast<RegionId>(hotspots.Sample(rng)));
+    r.request_time = 3600.0 - rng.Uniform(0.0, 120.0);
+    r.pickup_deadline = 3600.0 + rng.Uniform(120.0, 600.0);
+    r.trip_seconds = cost.TravelSeconds(r.pickup, r.dropoff);
+    r.revenue = r.trip_seconds;
+    r.pickup_region = grid.RegionOf(r.pickup);
+    r.dropoff_region = grid.RegionOf(r.dropoff);
+    ctx->AddRider(r);
+  }
+  for (int j = 0; j < num_drivers; ++j) {
+    AvailableDriver d;
+    d.driver_id = j;
+    d.location = point_in(static_cast<RegionId>(hotspots.Sample(rng)));
+    d.region = grid.RegionOf(d.location);
+    d.available_since = 3600.0 - rng.Uniform(0.0, 300.0);
+    ctx->AddDriver(d);
+  }
+  std::vector<RegionSnapshot> snaps(static_cast<size_t>(grid.num_regions()));
+  for (const auto& r : ctx->riders()) {
+    ++snaps[static_cast<size_t>(r.pickup_region)].waiting_riders;
+  }
+  for (const auto& d : ctx->drivers()) {
+    ++snaps[static_cast<size_t>(d.region)].available_drivers;
+  }
+  for (auto& s : snaps) {
+    s.predicted_riders = rng.Uniform(0.0, 40.0);
+    s.predicted_drivers = rng.Uniform(0.0, 15.0);
+  }
+  ctx->SetSnapshots(std::move(snaps));
+  return ctx;
+}
+
+struct Record {
+  std::string dispatcher;
+  int threads;
+  double median_ms;
+  double speedup;
+  bool identical;
+};
+
+double MedianMs(std::vector<double>& ms) {
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+}  // namespace
+
+int Main() {
+  const int num_riders = EnvInt("MRVD_BENCH_RIDERS", 1200, 0);
+  const int num_drivers = EnvInt("MRVD_BENCH_DRIVERS", 900, 0);
+  const int reps = EnvInt("MRVD_BENCH_REPS", 5, 1);
+  const int max_threads = EnvInt("MRVD_BENCH_THREADS", 8, 1);
+  const uint64_t seed = 20190417;
+
+  Grid grid = MakeNycGrid16x16();
+  StraightLineCostModel cost(7.0, 1.3);
+
+  std::vector<int> thread_counts{1};
+  for (int t = 2; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  std::printf("pipeline micro-bench: %d riders, %d drivers, %d reps\n",
+              num_riders, num_drivers, reps);
+  std::printf("%-10s %8s %12s %9s %10s\n", "dispatcher", "threads",
+              "ms/batch", "speedup", "identical");
+
+  std::vector<Record> records;
+  for (const char* name : {"IRG", "LS", "SHORT"}) {
+    double serial_ms = 0.0;
+    std::vector<Assignment> serial_out;
+    for (int threads : thread_counts) {
+      // Pool and partitioner are built once and reused across reps — the
+      // same lifecycle Simulator::Run gives them across batches.
+      std::unique_ptr<ThreadPool> pool;
+      std::unique_ptr<RegionPartitioner> parts;
+      BatchExecution exec;
+      if (threads > 1) {
+        pool = std::make_unique<ThreadPool>(threads);
+        parts = std::make_unique<RegionPartitioner>(
+            RegionPartitioner::RowBands(grid, 2 * threads));
+        exec.pool = pool.get();
+        exec.partitioner = parts.get();
+      }
+      std::vector<double> ms;
+      std::vector<Assignment> out;
+      for (int rep = 0; rep < reps; ++rep) {
+        // Fresh context per rep: the ET memo table must start cold, as it
+        // does for every batch of a real run.
+        auto ctx = MakeBatch(grid, cost, num_riders, num_drivers, seed);
+        if (pool != nullptr) ctx->SetExecution(&exec);
+        auto dispatcher = MakeDispatcherByName(name);
+        out.clear();
+        Stopwatch watch;
+        dispatcher->Dispatch(*ctx, &out);
+        ms.push_back(watch.ElapsedSeconds() * 1e3);
+      }
+      double median = MedianMs(ms);
+      bool identical = true;
+      if (threads == 1) {
+        serial_ms = median;
+        serial_out = out;
+      } else {
+        identical = out.size() == serial_out.size();
+        for (size_t i = 0; identical && i < out.size(); ++i) {
+          identical = out[i].rider_index == serial_out[i].rider_index &&
+                      out[i].driver_index == serial_out[i].driver_index;
+        }
+      }
+      Record rec{name, threads, median, serial_ms / median, identical};
+      records.push_back(rec);
+      std::printf("%-10s %8d %12.2f %8.2fx %10s\n", name, threads, median,
+                  rec.speedup, identical ? "yes" : "NO");
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FATAL: %s diverged from serial at %d threads\n", name,
+                     threads);
+        return 1;
+      }
+    }
+  }
+
+  const char* json_path = std::getenv("MRVD_BENCH_JSON");
+  std::string path = json_path != nullptr ? json_path : "BENCH_pipeline.json";
+  std::ofstream json(path);
+  json << "{\n"
+       << "  \"bench\": \"micro_pipeline\",\n"
+       << "  \"grid\": \"16x16\",\n"
+       << "  \"riders\": " << num_riders << ",\n"
+       << "  \"drivers\": " << num_drivers << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"hardware_threads\": " << ThreadPool::HardwareThreads()
+       << ",\n"
+       << "  \"results\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    json << "    {\"dispatcher\": \"" << r.dispatcher
+         << "\", \"threads\": " << r.threads << ", \"ms_per_batch\": "
+         << r.median_ms << ", \"speedup\": " << r.speedup
+         << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+         << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  if (!json) {
+    std::fprintf(stderr, "ERROR: could not write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace mrvd
+
+int main() { return mrvd::Main(); }

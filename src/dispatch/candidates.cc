@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geo/region_partitioner.h"
+#include "util/thread_pool.h"
+
 namespace mrvd {
 
 namespace {
@@ -17,59 +20,115 @@ double MinCellMeters(const Grid& grid) {
                   EquirectangularMeters(c0, c_h));
 }
 
+/// Emits rider `ri`'s valid pairs in the canonical order: rings outward,
+/// regions in ring order, drivers in region order. Every generation path
+/// (serial or sharded) goes through this function with the same per-rider
+/// order, so the concatenated pair list is identical no matter how the
+/// riders were distributed over workers.
 template <typename Sink>
-void ForEachValidPair(const BatchContext& ctx, Sink&& sink) {
+void ForRiderValidPairs(const BatchContext& ctx, int ri, double min_cell_m,
+                        Sink&& sink) {
   const Grid& grid = ctx.grid();
-  const double min_cell_m = MinCellMeters(grid);
   const double speed = ctx.cost_model().SpeedMps();
   const int max_possible_ring = std::max(grid.rows(), grid.cols());
   const bool region_local =
       ctx.candidate_mode() == CandidateMode::kRegionLocal;
 
-  for (int ri = 0; ri < static_cast<int>(ctx.riders().size()); ++ri) {
-    const WaitingRider& r = ctx.riders()[static_cast<size_t>(ri)];
-    double budget_seconds = r.pickup_deadline - ctx.now();
-    if (budget_seconds < 0.0) continue;
-    int max_ring = 0;
-    if (!region_local) {
-      // Crow-fly reach (optimistic: ignores detour, so it over-covers).
-      // Drivers at ring g are at least (g-1) * min_cell_m away.
-      double reach_m = budget_seconds * speed;
-      max_ring = std::min(max_possible_ring,
-                          static_cast<int>(reach_m / min_cell_m) + 2);
-    }
+  const WaitingRider& r = ctx.riders()[static_cast<size_t>(ri)];
+  double budget_seconds = r.pickup_deadline - ctx.now();
+  if (budget_seconds < 0.0) return;
+  int max_ring = 0;
+  if (!region_local) {
+    // Crow-fly reach (optimistic: ignores detour, so it over-covers).
+    // Drivers at ring g are at least (g-1) * min_cell_m away.
+    double reach_m = budget_seconds * speed;
+    max_ring = std::min(max_possible_ring,
+                        static_cast<int>(reach_m / min_cell_m) + 2);
+  }
 
-    for (int g = 0; g <= max_ring; ++g) {
-      for (RegionId reg : grid.Ring(r.pickup_region, g)) {
-        for (int di : ctx.drivers_by_region()[static_cast<size_t>(reg)]) {
-          const AvailableDriver& d =
-              ctx.drivers()[static_cast<size_t>(di)];
-          double tt = ctx.PickupSeconds(d, r);
-          if (ctx.now() + tt <= r.pickup_deadline) {
-            sink(ri, di, tt);
-          }
+  for (int g = 0; g <= max_ring; ++g) {
+    for (RegionId reg : grid.Ring(r.pickup_region, g)) {
+      for (int di : ctx.drivers_by_region()[static_cast<size_t>(reg)]) {
+        const AvailableDriver& d = ctx.drivers()[static_cast<size_t>(di)];
+        double tt = ctx.PickupSeconds(d, r);
+        if (ctx.now() + tt <= r.pickup_deadline) {
+          sink(ri, di, tt);
         }
       }
     }
   }
 }
 
+/// Fills `out` (pre-sized to riders().size()) with each rider's pairs.
+/// When the context carries a parallel execution, riders are generated
+/// per-shard across the pool; each worker writes only its shard's rider
+/// slots, so no synchronisation is needed and the per-rider contents are
+/// exactly the serial ones.
+void GeneratePerRider(const BatchContext& ctx,
+                      std::vector<std::vector<CandidatePair>>* out) {
+  const double min_cell_m = MinCellMeters(ctx.grid());
+  const BatchExecution* exec = ctx.execution();
+  if (exec != nullptr && exec->Parallel() && ctx.riders().size() > 1) {
+    const RegionPartitioner& parts = *exec->partitioner;
+    std::vector<std::vector<int>> shard_riders(
+        static_cast<size_t>(parts.num_shards()));
+    for (int ri = 0; ri < static_cast<int>(ctx.riders().size()); ++ri) {
+      int s = parts.shard_of(
+          ctx.riders()[static_cast<size_t>(ri)].pickup_region);
+      shard_riders[static_cast<size_t>(s)].push_back(ri);
+    }
+    exec->pool->ParallelFor(parts.num_shards(), [&](int s) {
+      for (int ri : shard_riders[static_cast<size_t>(s)]) {
+        auto& dst = (*out)[static_cast<size_t>(ri)];
+        ForRiderValidPairs(ctx, ri, min_cell_m,
+                           [&dst](int rr, int di, double tt) {
+                             dst.push_back({rr, di, tt});
+                           });
+      }
+    });
+    return;
+  }
+  for (int ri = 0; ri < static_cast<int>(ctx.riders().size()); ++ri) {
+    auto& dst = (*out)[static_cast<size_t>(ri)];
+    ForRiderValidPairs(ctx, ri, min_cell_m,
+                       [&dst](int rr, int di, double tt) {
+                         dst.push_back({rr, di, tt});
+                       });
+  }
+}
+
 }  // namespace
 
 std::vector<CandidatePair> GenerateValidPairs(const BatchContext& ctx) {
+  const BatchExecution* exec = ctx.execution();
+  if (exec == nullptr || !exec->Parallel() || ctx.riders().size() <= 1) {
+    // Serial: sink straight into the flat list, no per-rider buffers.
+    std::vector<CandidatePair> out;
+    const double min_cell_m = MinCellMeters(ctx.grid());
+    for (int ri = 0; ri < static_cast<int>(ctx.riders().size()); ++ri) {
+      ForRiderValidPairs(ctx, ri, min_cell_m,
+                         [&out](int rr, int di, double tt) {
+                           out.push_back({rr, di, tt});
+                         });
+    }
+    return out;
+  }
+  std::vector<std::vector<CandidatePair>> per_rider(ctx.riders().size());
+  GeneratePerRider(ctx, &per_rider);
+  size_t total = 0;
+  for (const auto& g : per_rider) total += g.size();
   std::vector<CandidatePair> out;
-  ForEachValidPair(ctx, [&](int ri, int di, double tt) {
-    out.push_back({ri, di, tt});
-  });
+  out.reserve(total);
+  for (const auto& g : per_rider) {
+    out.insert(out.end(), g.begin(), g.end());
+  }
   return out;
 }
 
 std::vector<std::vector<CandidatePair>> GenerateValidPairsPerRider(
     const BatchContext& ctx) {
   std::vector<std::vector<CandidatePair>> out(ctx.riders().size());
-  ForEachValidPair(ctx, [&](int ri, int di, double tt) {
-    out[static_cast<size_t>(ri)].push_back({ri, di, tt});
-  });
+  GeneratePerRider(ctx, &out);
   return out;
 }
 

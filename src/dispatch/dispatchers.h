@@ -9,10 +9,18 @@
 //   POLAR  — prediction-guided offline-blueprint matching baseline [28]
 //   UPPER  — per-batch revenue upper bound (requires
 //            SimConfig::zero_pickup_travel)
+//
+// Every dispatcher consumes the batch through the sharded-context protocol:
+// when the BatchContext carries a BatchExecution (thread pool + region
+// partitioner, see sim/batch.h), candidate generation and the idle-time
+// solves fan out per region shard and the selection reconciles
+// sequentially, producing bit-identical assignments to the serial path.
+// Without an execution the same code runs serially.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "sim/batch.h"
 
@@ -30,5 +38,13 @@ std::unique_ptr<Dispatcher> MakeLocalSearchDispatcher(int max_sweeps = 16);
 std::unique_ptr<Dispatcher> MakeShortDispatcher();
 std::unique_ptr<Dispatcher> MakePolarDispatcher();
 std::unique_ptr<Dispatcher> MakeUpperBoundDispatcher();
+
+/// Factory by display name ("IRG", "LS", "SHORT", "RAND", "NEAR", "LTG",
+/// "POLAR", "UPPER"); nullptr for unknown names. `seed` feeds RAND,
+/// `max_sweeps` feeds LS. Used by the benches and the equivalence tests to
+/// sweep the whole dispatcher roster.
+std::unique_ptr<Dispatcher> MakeDispatcherByName(const std::string& name,
+                                                 uint64_t seed = 1,
+                                                 int max_sweeps = 16);
 
 }  // namespace mrvd

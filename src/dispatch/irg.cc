@@ -1,6 +1,7 @@
 // IRG (Algorithm 2) and SHORT (Appendix C) dispatchers.
 #include "dispatch/dispatchers.h"
 #include "dispatch/irg_core.h"
+#include "dispatch/pipeline.h"
 
 namespace mrvd {
 
@@ -14,8 +15,10 @@ class IrgDispatcher final : public Dispatcher {
   std::string name() const override { return name_; }
 
   void Dispatch(const BatchContext& ctx, std::vector<Assignment>* out) override {
-    auto pairs = GenerateValidPairs(ctx);
-    IrgState state = RunGreedySelection(ctx, pairs, objective_);
+    // Sharded preparation (parallel when the batch carries an execution),
+    // then the exact sequential selection over the canonical pair list.
+    PreparedBatch prepared = PrepareShardedBatch(ctx, objective_);
+    IrgState state = RunGreedySelection(ctx, prepared.pairs, objective_);
     *out = std::move(state.assignments);
   }
 

@@ -5,9 +5,12 @@
 // rises as earlier selections promise more rejoining drivers to that region
 // (line 11 of Algorithm 2). The selection loop uses a lazy priority queue:
 // entries carry the destination region's version; popping a stale entry
-// re-scores and re-inserts it instead of re-sorting everything.
+// re-scores and re-inserts it instead of re-sorting everything. Ties are
+// broken by pair index, so the pop order is a strict total order and the
+// selection is deterministic regardless of how the heap was built.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "dispatch/candidates.h"
@@ -32,6 +35,17 @@ struct IrgState {
   std::vector<char> driver_used;
 };
 
+/// ET oracle: seconds of expected idle time for (region, extra_drivers).
+/// The serial path uses BatchContext::ExpectedIdleSeconds; shard workers
+/// pass ShardedBatchContext::ExpectedIdleSeconds so memoisation stays
+/// thread-local.
+using IdleTimeFn = std::function<double(RegionId, int)>;
+
+/// Score from an already-resolved ET value (pure arithmetic shared by every
+/// ET oracle).
+double ScoreFromIdle(double idle_seconds, const WaitingRider& rider,
+                     GreedyObjective objective, double pickup_seconds = 0.0);
+
 /// Scores a pair under `objective` given the current tentative supply. The
 /// paper's IR (Eq. 17) depends only on the rider; `pickup_seconds` adds an
 /// infinitesimal tie-break so that among equal-IR pairs the closer driver
@@ -44,5 +58,13 @@ double ScorePair(const BatchContext& ctx, const WaitingRider& rider,
 IrgState RunGreedySelection(const BatchContext& ctx,
                             const std::vector<CandidatePair>& pairs,
                             GreedyObjective objective);
+
+/// Greedy selection with ET queries routed through `idle`. Used by the
+/// sharded pipeline's speculative per-shard pass; semantics are identical
+/// to RunGreedySelection when `idle` returns the same values.
+IrgState RunGreedySelectionWithIdle(const BatchContext& ctx,
+                                    const std::vector<CandidatePair>& pairs,
+                                    GreedyObjective objective,
+                                    const IdleTimeFn& idle);
 
 }  // namespace mrvd

@@ -5,6 +5,7 @@
 
 #include "dispatch/dispatchers.h"
 #include "dispatch/irg_core.h"
+#include "dispatch/pipeline.h"
 
 namespace mrvd {
 
@@ -17,7 +18,13 @@ class LocalSearchDispatcher final : public Dispatcher {
   std::string name() const override { return "LS"; }
 
   void Dispatch(const BatchContext& ctx, std::vector<Assignment>* out) override {
-    auto pairs = GenerateValidPairs(ctx);
+    // Pair generation and idle-time solves run sharded; the greedy replay
+    // and the sweeps below stay sequential so LS remains bit-identical to
+    // the serial path (each swap depends on the previous one's supply
+    // shift, which does not decompose by region).
+    PreparedBatch prepared =
+        PrepareShardedBatch(ctx, GreedyObjective::kIdleRatio);
+    const std::vector<CandidatePair>& pairs = prepared.pairs;
     IrgState state =
         RunGreedySelection(ctx, pairs, GreedyObjective::kIdleRatio);
 

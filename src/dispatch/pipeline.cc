@@ -1,0 +1,90 @@
+#include "dispatch/pipeline.h"
+
+#include <unordered_map>
+
+#include "geo/region_partitioner.h"
+#include "util/thread_pool.h"
+
+namespace mrvd {
+
+PreparedBatch PrepareShardedBatch(const BatchContext& ctx,
+                                  GreedyObjective objective) {
+  PreparedBatch out;
+  const BatchExecution* exec = ctx.execution();
+  if (exec == nullptr || !exec->Parallel()) {
+    out.pairs = GenerateValidPairs(ctx);
+    return out;
+  }
+  const RegionPartitioner& parts = *exec->partitioner;
+  const int num_shards = parts.num_shards();
+
+  // Parallel per-shard candidate generation (sharded inside candidates.cc).
+  auto per_rider = GenerateValidPairsPerRider(ctx);
+
+  // Flatten in the canonical rider-major order and classify: shard-internal
+  // pairs feed the speculative pass; the distinct dropoff regions are routed
+  // to their owning shard so ET(k, 0) is warmed exactly once.
+  size_t total = 0;
+  for (const auto& g : per_rider) total += g.size();
+  out.pairs.reserve(total);
+  std::vector<std::vector<CandidatePair>> internal(
+      static_cast<size_t>(num_shards));
+  std::vector<std::vector<RegionId>> dests_by_shard(
+      static_cast<size_t>(num_shards));
+  std::vector<char> dest_seen(static_cast<size_t>(ctx.grid().num_regions()),
+                              0);
+  for (const auto& g : per_rider) {
+    for (const CandidatePair& cp : g) {
+      out.pairs.push_back(cp);
+      const WaitingRider& r =
+          ctx.riders()[static_cast<size_t>(cp.rider_index)];
+      const AvailableDriver& d =
+          ctx.drivers()[static_cast<size_t>(cp.driver_index)];
+      RegionId dest = r.dropoff_region;
+      if (!dest_seen[static_cast<size_t>(dest)]) {
+        dest_seen[static_cast<size_t>(dest)] = 1;
+        dests_by_shard[static_cast<size_t>(parts.shard_of(dest))].push_back(
+            dest);
+      }
+      int rs = parts.shard_of(r.pickup_region);
+      if (parts.shard_of(d.region) == rs && parts.shard_of(dest) == rs) {
+        internal[static_cast<size_t>(rs)].push_back(cp);
+        ++out.internal_pairs;
+      }
+    }
+  }
+
+  // Parallel warm: per shard, solve ET(k, 0) for owned dropoff regions and
+  // speculatively run the greedy over the shard's internal pairs with a
+  // shard-local memo table. The speculative assignments are discarded; only
+  // the solved ET values survive. The speculative pass duplicates selection
+  // work, so it only runs when the pool is wide enough to hide it behind
+  // the other shards' generation work.
+  const bool speculate = exec->pool->num_threads() >= 4;
+  std::vector<std::unordered_map<int64_t, double>> caches(
+      static_cast<size_t>(num_shards));
+  exec->pool->ParallelFor(num_shards, [&](int s) {
+    ShardedBatchContext sctx(ctx, parts, s);
+    for (RegionId dest : dests_by_shard[static_cast<size_t>(s)]) {
+      sctx.ExpectedIdleSeconds(dest, 0);
+    }
+    if (speculate && !internal[static_cast<size_t>(s)].empty()) {
+      RunGreedySelectionWithIdle(ctx, internal[static_cast<size_t>(s)],
+                                 objective,
+                                 [&sctx](RegionId region, int extra) {
+                                   return sctx.ExpectedIdleSeconds(region,
+                                                                   extra);
+                                 });
+    }
+    caches[static_cast<size_t>(s)] = sctx.ReleaseIdleCache();
+  });
+
+  // Sequential merge into the shared memo table (first write wins; every
+  // write is the pure ComputeIdleSeconds of the same snapshot).
+  for (auto& cache : caches) {
+    ctx.MergeIdleCache(std::move(cache));
+  }
+  return out;
+}
+
+}  // namespace mrvd

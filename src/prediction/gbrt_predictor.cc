@@ -16,7 +16,8 @@ class GbrtPredictor final : public DemandPredictor {
 
   std::string name() const override { return "GBRT"; }
 
-  Status Train(const DemandHistory& history, const Grid& grid) override {
+  Status Train(const DemandHistory& history,
+               const Grid& /*grid*/) override {
     slots_per_day_ = history.slots_per_day();
     std::vector<double> x, y, feat;
     Rng rng(opt_.seed);

@@ -24,7 +24,8 @@ class HistoricalAveragePredictor final : public DemandPredictor {
 
   std::string name() const override { return "HA"; }
 
-  Status Train(const DemandHistory& history, const Grid& grid) override {
+  Status Train(const DemandHistory& /*history*/,
+               const Grid& /*grid*/) override {
     return Status::OK();  // nothing to fit
   }
 
@@ -48,7 +49,8 @@ class LinearRegressionPredictor final : public DemandPredictor {
 
   std::string name() const override { return "LR"; }
 
-  Status Train(const DemandHistory& history, const Grid& grid) override {
+  Status Train(const DemandHistory& history,
+               const Grid& /*grid*/) override {
     const int cols = lags_ + 1;  // + intercept
     std::vector<double> x, y;
     for (int step = lags_; step < history.num_steps(); ++step) {

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "geo/region_partitioner.h"
 #include "queueing/birth_death.h"
+#include "util/thread_pool.h"
 
 namespace mrvd {
+
+bool BatchExecution::Parallel() const {
+  return pool != nullptr && pool->num_threads() > 1 && partitioner != nullptr &&
+         partitioner->num_shards() > 1;
+}
 
 BatchContext::BatchContext(double now, double window_seconds,
                            double reneging_beta, const Grid& grid,
@@ -74,11 +81,8 @@ int64_t BatchContext::MaxDriversFor(RegionId region, int extra_drivers) const {
   return std::max<int64_t>(k, 1);
 }
 
-double BatchContext::ExpectedIdleSeconds(RegionId region,
-                                         int extra_drivers) const {
-  int64_t key = (static_cast<int64_t>(region) << 20) | extra_drivers;
-  auto it = idle_cache_.find(key);
-  if (it != idle_cache_.end()) return it->second;
+double BatchContext::ComputeIdleSeconds(RegionId region,
+                                        int extra_drivers) const {
   RegionRates rates = RatesFor(region, extra_drivers);
   // Solve the chain in per-minute units: the reneging practice
   // π(n) = e^{βn}/μ from [25] is calibrated for arrival rates on the order
@@ -88,7 +92,63 @@ double BatchContext::ExpectedIdleSeconds(RegionId region,
       rates.lambda * 60.0, rates.mu * 60.0,
       MaxDriversFor(region, extra_drivers), reneging_beta_,
       /*max_idle_seconds=*/60.0);  // cap: 60 min
-  double et = et_minutes * 60.0;
+  return et_minutes * 60.0;
+}
+
+double BatchContext::ExpectedIdleSeconds(RegionId region,
+                                         int extra_drivers) const {
+  int64_t key = IdleCacheKey(region, extra_drivers);
+  auto it = idle_cache_.find(key);
+  if (it != idle_cache_.end()) return it->second;
+  double et = ComputeIdleSeconds(region, extra_drivers);
+  idle_cache_.emplace(key, et);
+  return et;
+}
+
+void BatchContext::WarmIdleCache(RegionId region, int extra_drivers,
+                                 double et) const {
+  idle_cache_.emplace(IdleCacheKey(region, extra_drivers), et);
+}
+
+void BatchContext::MergeIdleCache(
+    std::unordered_map<int64_t, double>&& cache) const {
+  if (idle_cache_.empty()) {
+    idle_cache_ = std::move(cache);
+    return;
+  }
+  idle_cache_.merge(cache);
+}
+
+// ------------------------------------------------------- ShardedBatchContext
+
+ShardedBatchContext::ShardedBatchContext(const BatchContext& parent,
+                                         const RegionPartitioner& partitioner,
+                                         int shard)
+    : parent_(parent), partitioner_(partitioner), shard_(shard) {
+  for (int i = 0; i < static_cast<int>(parent.riders().size()); ++i) {
+    if (partitioner.shard_of(
+            parent.riders()[static_cast<size_t>(i)].pickup_region) == shard) {
+      rider_indices_.push_back(i);
+    }
+  }
+  for (int j = 0; j < static_cast<int>(parent.drivers().size()); ++j) {
+    if (partitioner.shard_of(
+            parent.drivers()[static_cast<size_t>(j)].region) == shard) {
+      driver_indices_.push_back(j);
+    }
+  }
+}
+
+bool ShardedBatchContext::OwnsRegion(RegionId region) const {
+  return partitioner_.shard_of(region) == shard_;
+}
+
+double ShardedBatchContext::ExpectedIdleSeconds(RegionId region,
+                                                int extra_drivers) const {
+  int64_t key = BatchContext::IdleCacheKey(region, extra_drivers);
+  auto it = idle_cache_.find(key);
+  if (it != idle_cache_.end()) return it->second;
+  double et = parent_.ComputeIdleSeconds(region, extra_drivers);
   idle_cache_.emplace(key, et);
   return et;
 }

@@ -16,6 +16,23 @@
 
 namespace mrvd {
 
+class ThreadPool;
+class RegionPartitioner;
+
+/// Parallel-execution context for one batch: a reusable worker pool plus
+/// the region sharding. When a BatchContext carries one (see
+/// BatchContext::SetExecution), dispatchers shard candidate generation,
+/// idle-time evaluation and speculative greedy selection across the pool;
+/// without one every dispatcher runs the serial path. Both owned objects
+/// must outlive the batch.
+struct BatchExecution {
+  ThreadPool* pool = nullptr;
+  const RegionPartitioner* partitioner = nullptr;
+
+  /// True if this execution can actually fan out work.
+  bool Parallel() const;
+};
+
 /// A rider waiting in the current batch.
 struct WaitingRider {
   OrderId order_id = -1;
@@ -89,7 +106,35 @@ class BatchContext {
 
   /// Expected idle time ET(λ(k), μ(k)) in seconds for a driver rejoining
   /// `region`, given `extra_drivers` additional rejoiners (cached).
+  /// NOT thread-safe (the memo table is shared); shard workers go through
+  /// ShardedBatchContext::ExpectedIdleSeconds instead.
   double ExpectedIdleSeconds(RegionId region, int extra_drivers = 0) const;
+
+  /// Same value as ExpectedIdleSeconds but bypassing the memo table: a pure
+  /// function of the immutable snapshots, safe to call concurrently.
+  double ComputeIdleSeconds(RegionId region, int extra_drivers = 0) const;
+
+  /// Inserts a precomputed ET value into the memo table (first write wins).
+  /// Called sequentially when merging shard-local caches; warming never
+  /// changes results because the cached value is the pure ComputeIdleSeconds
+  /// of the same immutable snapshot.
+  void WarmIdleCache(RegionId region, int extra_drivers, double et) const;
+
+  /// Bulk variant of WarmIdleCache: merges a shard-local memo table (keys
+  /// from IdleCacheKey) into this context's table, first write wins.
+  void MergeIdleCache(std::unordered_map<int64_t, double>&& cache) const;
+
+  /// Memo key for (region, extra_drivers); extra_drivers < 2^20.
+  static int64_t IdleCacheKey(RegionId region, int extra_drivers) {
+    return (static_cast<int64_t>(region) << 20) | extra_drivers;
+  }
+
+  /// Optional parallel execution (null = serial). The pointed-to object is
+  /// not owned and must outlive the batch.
+  void SetExecution(const BatchExecution* execution) {
+    execution_ = execution;
+  }
+  const BatchExecution* execution() const { return execution_; }
 
   /// Travel seconds from a driver's location to a rider's pickup.
   double PickupSeconds(const AvailableDriver& d, const WaitingRider& r) const {
@@ -123,8 +168,54 @@ class BatchContext {
   std::vector<AvailableDriver> drivers_;
   std::vector<std::vector<int>> drivers_by_region_;
   std::vector<RegionSnapshot> snapshots_;
+  const BatchExecution* execution_ = nullptr;
 
   /// (region << 20 | extra) -> ET cache.
+  mutable std::unordered_map<int64_t, double> idle_cache_;
+};
+
+/// Per-shard read view of one BatchContext used by the parallel pipeline.
+/// It exposes the shard's riders/drivers and an idle-time memo table private
+/// to the shard's worker, so concurrent shards never touch the parent's
+/// shared cache. After the parallel phase the local tables are merged back
+/// into the parent (BatchContext::WarmIdleCache), which cannot change any
+/// value — ET is a pure function of the immutable snapshots — so the
+/// sequential reconciliation pass sees exactly the serial path's numbers.
+class ShardedBatchContext {
+ public:
+  ShardedBatchContext(const BatchContext& parent,
+                      const RegionPartitioner& partitioner, int shard);
+
+  const BatchContext& parent() const { return parent_; }
+  int shard() const { return shard_; }
+
+  bool OwnsRegion(RegionId region) const;
+
+  /// Context rider indices whose pickup region belongs to this shard.
+  const std::vector<int>& rider_indices() const { return rider_indices_; }
+  /// Context driver indices currently located in this shard.
+  const std::vector<int>& driver_indices() const { return driver_indices_; }
+
+  /// ET(region, extra) memoised in the shard-local table.
+  double ExpectedIdleSeconds(RegionId region, int extra_drivers = 0) const;
+
+  /// The shard-local memo table, for merging into the parent.
+  const std::unordered_map<int64_t, double>& idle_cache() const {
+    return idle_cache_;
+  }
+
+  /// Moves the memo table out (the view is spent afterwards); lets the
+  /// merge avoid copying every shard's table.
+  std::unordered_map<int64_t, double> ReleaseIdleCache() {
+    return std::move(idle_cache_);
+  }
+
+ private:
+  const BatchContext& parent_;
+  const RegionPartitioner& partitioner_;
+  int shard_;
+  std::vector<int> rider_indices_;
+  std::vector<int> driver_indices_;
   mutable std::unordered_map<int64_t, double> idle_cache_;
 };
 

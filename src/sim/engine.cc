@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <memory>
 #include <queue>
 
+#include "geo/region_partitioner.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace mrvd {
 
@@ -53,6 +56,22 @@ SimResult Simulator::Run(Dispatcher& dispatcher) {
   const double delta = config_.batch_interval;
   const double horizon = config_.horizon_seconds;
 
+  // Parallel dispatch plumbing, created once and reused by every batch.
+  int threads = config_.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                         : config_.num_threads;
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<RegionPartitioner> partitioner;
+  BatchExecution execution;
+  if (threads > 1) {
+    int shards =
+        config_.num_shards > 0 ? config_.num_shards : 2 * threads;
+    pool = std::make_unique<ThreadPool>(threads);
+    partitioner = std::make_unique<RegionPartitioner>(
+        RegionPartitioner::RowBands(grid_, shards));
+    execution.pool = pool.get();
+    execution.partitioner = partitioner.get();
+  }
+
   for (double now = 0.0; now < horizon; now += delta) {
     // 1. Busy drivers finishing by `now` rejoin at their destination.
     while (!busy_heap.empty() && busy_heap.top().first <= now) {
@@ -97,6 +116,7 @@ SimResult Simulator::Run(Dispatcher& dispatcher) {
     // 4. Build the batch context.
     BatchContext ctx(now, config_.window_seconds, config_.reneging_beta,
                      grid_, cost_model_, config_.candidate_mode);
+    if (pool != nullptr) ctx.SetExecution(&execution);
     std::vector<int> rider_backing;  // waiting index per ctx rider
     rider_backing.reserve(waiting.size());
     for (size_t i = 0; i < waiting.size(); ++i) {

@@ -35,6 +35,16 @@ struct SimConfig {
 
   /// Record (estimated, real) idle-time samples (Table 3 / Fig. 6 study).
   bool record_idle_samples = true;
+
+  /// Dispatch parallelism: worker threads for the region-sharded batch
+  /// pipeline. 1 = serial (default); 0 = hardware concurrency. Any value
+  /// produces bit-identical results — sharding only moves the expensive
+  /// candidate generation and idle-time solves onto the pool.
+  int num_threads = 1;
+
+  /// Region shards for the pipeline; 0 derives 2x the worker count
+  /// (clamped to the grid's row count by the partitioner).
+  int num_shards = 0;
 };
 
 /// Simulates one day of a Workload under a dispatcher.

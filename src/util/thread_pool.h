@@ -1,0 +1,62 @@
+// Reusable fixed-size worker pool for the batch-dispatch pipeline.
+//
+// The pool is created once (per Simulator::Run or per bench) and reused
+// across every batch: submitting work never spawns threads. With
+// `num_threads <= 1` no workers are started and every task runs inline on
+// the caller's thread, so the serial path has zero threading overhead and
+// the parallel code can be written against one interface.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrvd {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; <= 1 means inline (no threads).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count the pool schedules onto (>= 1; 1 means inline execution).
+  int num_threads() const { return num_threads_; }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareThreads();
+
+  /// True when the calling thread is a pool worker (of any pool). Nested
+  /// Submit/ParallelFor from a worker run inline instead of re-entering the
+  /// queue — blocking a worker on work that sits behind it in its own queue
+  /// would deadlock the pool.
+  static bool OnWorkerThread();
+
+  /// Enqueues `fn` (FIFO). The future rethrows any exception `fn` threw.
+  /// Inline pools run `fn` before returning.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(0..n-1), blocking until all complete. Iterations are spread
+  /// over the workers; the first exception thrown (lowest index wins) is
+  /// rethrown on the caller after every iteration has finished.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace mrvd

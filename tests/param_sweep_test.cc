@@ -123,14 +123,7 @@ class DispatcherSweepTest : public ::testing::TestWithParam<std::string> {
   }
 
   static std::unique_ptr<Dispatcher> Make(const std::string& name) {
-    if (name == "RAND") return MakeRandomDispatcher(9);
-    if (name == "NEAR") return MakeNearestDispatcher();
-    if (name == "LTG") return MakeLongTripGreedyDispatcher();
-    if (name == "IRG") return MakeIrgDispatcher();
-    if (name == "LS") return MakeLocalSearchDispatcher();
-    if (name == "SHORT") return MakeShortDispatcher();
-    if (name == "POLAR") return MakePolarDispatcher();
-    return nullptr;
+    return MakeDispatcherByName(name, /*seed=*/9);
   }
 
   static SimResult Run(const std::string& name) {
