@@ -1,18 +1,27 @@
 // Micro-benchmark of the region-sharded parallel dispatch pipeline:
 // serial vs. sharded per-batch latency for IRG / LS / SHORT on one
-// synthetic NYC-scale batch, swept over thread counts.
+// synthetic NYC-scale batch, swept over thread counts — plus an
+// engine-phase section that drives the staged engine over a synthetic
+// day-slice and times batch *construction* (incremental snapshots +
+// shard-parallel materialisation) separately from dispatch, via the
+// engine's SimResult::batch_build_seconds series.
 //
 // Emits BENCH_pipeline.json (override the path with MRVD_BENCH_JSON) with
 // one record per (dispatcher, threads): median per-batch milliseconds and
-// speedup over the serial run. Every sharded run is also checked for
-// bit-identical assignments against the serial baseline, so the bench
+// speedup over the serial run, and one engine record per (dispatcher,
+// threads) with mean construction/dispatch milliseconds. Every sharded run
+// is also checked for bit-identical output against the serial baseline
+// (assignments per batch, SimResult aggregates per run), so the bench
 // doubles as a large-scale equivalence harness.
 //
 // Scale knobs (env):
-//   MRVD_BENCH_RIDERS   riders in the batch   (default 1200)
-//   MRVD_BENCH_DRIVERS  drivers in the batch  (default 900)
-//   MRVD_BENCH_REPS     timed repetitions     (default 5)
-//   MRVD_BENCH_THREADS  max threads swept     (default 8)
+//   MRVD_BENCH_RIDERS         riders in the batch        (default 1200)
+//   MRVD_BENCH_DRIVERS        drivers in the batch       (default 900)
+//   MRVD_BENCH_REPS           timed repetitions          (default 5)
+//   MRVD_BENCH_THREADS        max threads swept          (default 8)
+//   MRVD_BENCH_ENGINE_ORDERS  engine-phase orders/day    (default 20000)
+//   MRVD_BENCH_ENGINE_DRIVERS engine-phase fleet size    (default 150)
+//   MRVD_BENCH_ENGINE_HOURS   engine-phase horizon hours (default 2)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -25,9 +34,11 @@
 #include "geo/region_partitioner.h"
 #include "geo/travel.h"
 #include "sim/batch.h"
+#include "sim/engine.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "workload/generator.h"
 
 namespace mrvd {
 namespace {
@@ -100,9 +111,31 @@ struct Record {
   bool identical;
 };
 
+/// Engine-phase record: per-batch construction vs. dispatch time through
+/// the staged engine on one synthetic day-slice.
+struct EngineRecord {
+  std::string dispatcher;
+  int threads;
+  double build_ms_mean;
+  double build_ms_max;
+  double dispatch_ms_mean;
+  int64_t num_batches;
+  bool identical;
+};
+
 double MedianMs(std::vector<double>& ms) {
   std::sort(ms.begin(), ms.end());
   return ms[ms.size() / 2];
+}
+
+/// Serial-vs-sharded SimResult equivalence (the bit-exact aggregates).
+bool SameResult(const SimResult& a, const SimResult& b) {
+  return a.served_orders == b.served_orders &&
+         a.reneged_orders == b.reneged_orders &&
+         a.total_revenue == b.total_revenue &&
+         a.num_batches == b.num_batches &&
+         a.served_wait_seconds.mean() == b.served_wait_seconds.mean() &&
+         a.driver_idle_seconds.mean() == b.driver_idle_seconds.mean();
 }
 
 }  // namespace
@@ -180,6 +213,68 @@ int Main() {
     }
   }
 
+  // ---- Engine phase: batch construction vs. dispatch through the staged
+  // engine on a synthetic day-slice. Construction time covers the
+  // incremental snapshot assembly plus the (shard-parallel) rider/driver
+  // materialisation and shard-index build; dispatch time is the
+  // dispatcher's Dispatch() call. Sharded runs must reproduce the serial
+  // SimResult bit-for-bit.
+  const int engine_orders = EnvInt("MRVD_BENCH_ENGINE_ORDERS", 20000, 0);
+  const int engine_drivers = EnvInt("MRVD_BENCH_ENGINE_DRIVERS", 150, 1);
+  const int engine_hours = EnvInt("MRVD_BENCH_ENGINE_HOURS", 2, 1);
+
+  GeneratorConfig gen_cfg;
+  gen_cfg.orders_per_day = static_cast<double>(engine_orders);
+  gen_cfg.seed = seed;
+  NycLikeGenerator generator(gen_cfg);
+  Workload day = generator.GenerateDay(/*day_index=*/1, engine_drivers);
+  StraightLineCostModel engine_cost(7.0, 1.3);
+
+  std::printf(
+      "\nengine phase: %zu orders, %d drivers, %dh horizon, delta=5s\n",
+      day.orders.size(), engine_drivers, engine_hours);
+  std::printf("%-10s %8s %12s %12s %12s %10s\n", "dispatcher", "threads",
+              "build-ms", "dispatch-ms", "batches", "identical");
+
+  std::vector<EngineRecord> engine_records;
+  for (const char* name : {"IRG", "SHORT"}) {
+    SimResult serial_result;
+    for (int threads : thread_counts) {
+      SimConfig cfg;
+      cfg.horizon_seconds = engine_hours * 3600.0;
+      cfg.batch_interval = 5.0;
+      cfg.num_threads = threads;
+      Simulator sim(cfg, day, generator.grid(), engine_cost, nullptr);
+      auto dispatcher = MakeDispatcherByName(name);
+      SimResult r = sim.Run(*dispatcher);
+      bool identical = true;
+      if (threads == 1) {
+        serial_result = r;
+      } else {
+        identical = SameResult(serial_result, r);
+      }
+      EngineRecord rec{name,
+                       threads,
+                       r.batch_build_seconds.mean() * 1e3,
+                       r.batch_build_seconds.max() * 1e3,
+                       r.batch_seconds.mean() * 1e3,
+                       r.num_batches,
+                       identical};
+      engine_records.push_back(rec);
+      std::printf("%-10s %8d %12.4f %12.4f %12lld %10s\n", name, threads,
+                  rec.build_ms_mean, rec.dispatch_ms_mean,
+                  static_cast<long long>(rec.num_batches),
+                  identical ? "yes" : "NO");
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FATAL: %s engine run diverged from serial at %d "
+                     "threads\n",
+                     name, threads);
+        return 1;
+      }
+    }
+  }
+
   const char* json_path = std::getenv("MRVD_BENCH_JSON");
   std::string path = json_path != nullptr ? json_path : "BENCH_pipeline.json";
   std::ofstream json(path);
@@ -200,7 +295,25 @@ int Main() {
          << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
          << (i + 1 < records.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n"
+       << "  \"engine\": {\n"
+       << "    \"orders\": " << day.orders.size() << ",\n"
+       << "    \"drivers\": " << engine_drivers << ",\n"
+       << "    \"horizon_hours\": " << engine_hours << ",\n"
+       << "    \"batch_interval_s\": 5,\n"
+       << "    \"results\": [\n";
+  for (size_t i = 0; i < engine_records.size(); ++i) {
+    const EngineRecord& r = engine_records[i];
+    json << "      {\"dispatcher\": \"" << r.dispatcher
+         << "\", \"threads\": " << r.threads
+         << ", \"build_ms_mean\": " << r.build_ms_mean
+         << ", \"build_ms_max\": " << r.build_ms_max
+         << ", \"dispatch_ms_mean\": " << r.dispatch_ms_mean
+         << ", \"num_batches\": " << r.num_batches
+         << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+         << (i + 1 < engine_records.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  }\n}\n";
   if (!json) {
     std::fprintf(stderr, "ERROR: could not write %s\n", path.c_str());
     return 1;

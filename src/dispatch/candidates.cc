@@ -70,15 +70,11 @@ void GeneratePerRider(const BatchContext& ctx,
   const BatchExecution* exec = ctx.execution();
   if (exec != nullptr && exec->Parallel() && ctx.riders().size() > 1) {
     const RegionPartitioner& parts = *exec->partitioner;
-    std::vector<std::vector<int>> shard_riders(
-        static_cast<size_t>(parts.num_shards()));
-    for (int ri = 0; ri < static_cast<int>(ctx.riders().size()); ++ri) {
-      int s = parts.shard_of(
-          ctx.riders()[static_cast<size_t>(ri)].pickup_region);
-      shard_riders[static_cast<size_t>(s)].push_back(ri);
-    }
+    // Shared one-pass shard index (built once per batch and reused by the
+    // pipeline's ShardedBatchContexts; must be ensured before fanning out).
+    const BatchContext::ShardIndex& index = *ctx.EnsureShardIndex();
     exec->pool->ParallelFor(parts.num_shards(), [&](int s) {
-      for (int ri : shard_riders[static_cast<size_t>(s)]) {
+      for (int ri : index.riders[static_cast<size_t>(s)]) {
         auto& dst = (*out)[static_cast<size_t>(ri)];
         ForRiderValidPairs(ctx, ri, min_cell_m,
                            [&dst](int rr, int di, double tt) {

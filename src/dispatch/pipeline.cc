@@ -18,6 +18,11 @@ PreparedBatch PrepareShardedBatch(const BatchContext& ctx,
   const RegionPartitioner& parts = *exec->partitioner;
   const int num_shards = parts.num_shards();
 
+  // One-pass shard index, shared by candidate generation and every
+  // ShardedBatchContext below (built here only if the engine's
+  // BatchBuilder did not already install it).
+  ctx.EnsureShardIndex();
+
   // Parallel per-shard candidate generation (sharded inside candidates.cc).
   auto per_rider = GenerateValidPairsPerRider(ctx);
 

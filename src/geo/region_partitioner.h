@@ -24,6 +24,11 @@ class RegionPartitioner {
 
   int num_shards() const { return static_cast<int>(shard_regions_.size()); }
 
+  /// Regions of the grid this partitioner was built for. Lets consumers
+  /// (BatchContext::EnsureShardIndex, the engine's BatchBuilder) assert the
+  /// partitioner matches their grid before indexing by region id.
+  int num_regions() const { return static_cast<int>(shard_of_.size()); }
+
   /// Shard owning region `r`.
   int shard_of(RegionId r) const {
     return shard_of_[static_cast<size_t>(r)];

@@ -1,0 +1,67 @@
+#include "sim/assignment_applier.h"
+
+#include "util/logging.h"
+
+namespace mrvd {
+
+AssignmentApplier::AssignmentApplier(std::string dispatcher_name,
+                                     bool zero_pickup_travel)
+    : dispatcher_name_(std::move(dispatcher_name)),
+      zero_pickup_travel_(zero_pickup_travel) {}
+
+void AssignmentApplier::Apply(double now, const BatchContext& ctx,
+                              const std::vector<Assignment>& assignments,
+                              FleetState* fleet, OrderBook* orders,
+                              SimObserver* observer) const {
+  std::vector<char> rider_taken(ctx.riders().size(), false);
+  std::vector<char> driver_taken(ctx.drivers().size(), false);
+  for (const Assignment& a : assignments) {
+    if (a.rider_index < 0 ||
+        a.rider_index >= static_cast<int>(ctx.riders().size()) ||
+        a.driver_index < 0 ||
+        a.driver_index >= static_cast<int>(ctx.drivers().size())) {
+      MRVD_LOG(Warn) << dispatcher_name_ << ": assignment out of range";
+      continue;
+    }
+    if (rider_taken[static_cast<size_t>(a.rider_index)] ||
+        driver_taken[static_cast<size_t>(a.driver_index)]) {
+      MRVD_LOG(Warn) << dispatcher_name_ << ": duplicate assignment";
+      continue;
+    }
+    const WaitingRider& r = ctx.riders()[static_cast<size_t>(a.rider_index)];
+    const AvailableDriver& ad =
+        ctx.drivers()[static_cast<size_t>(a.driver_index)];
+    double pickup_tt = zero_pickup_travel_ ? 0.0 : ctx.PickupSeconds(ad, r);
+    if (!zero_pickup_travel_ && now + pickup_tt > r.pickup_deadline) {
+      // Invalid pair (violates Def. 3); dispatchers must not emit these.
+      MRVD_LOG(Warn) << dispatcher_name_ << ": invalid pair emitted";
+      continue;
+    }
+    rider_taken[static_cast<size_t>(a.rider_index)] = true;
+    driver_taken[static_cast<size_t>(a.driver_index)] = true;
+
+    const int j = static_cast<int>(ad.driver_id);
+    const DriverState& d = fleet->driver(j);
+
+    AssignmentEvent e;
+    e.rider_index = a.rider_index;
+    e.driver_index = a.driver_index;
+    e.order_id = r.order_id;
+    e.driver_id = ad.driver_id;
+    e.driver_region = d.region;  // region the driver idled in
+    e.pickup_seconds = pickup_tt;
+    e.wait_seconds = now - r.request_time;
+    e.real_idle_seconds = now - d.available_since;
+    e.idle_estimate = d.pending_estimate;
+    e.revenue = r.revenue;
+    e.busy_until = now + pickup_tt + r.trip_seconds;
+
+    fleet->ClearIdleEstimate(j);
+    fleet->MarkBusy(j, e.busy_until, r.dropoff, r.dropoff_region);
+    orders->MarkServed(a.rider_index);
+    if (observer != nullptr) observer->OnAssignmentApplied(now, e);
+  }
+  orders->CompactServed();
+}
+
+}  // namespace mrvd

@@ -152,6 +152,38 @@ class BatchContext {
   void AddDriver(const AvailableDriver& d);
   void SetSnapshots(std::vector<RegionSnapshot> snapshots);
 
+  /// Bulk setup API (the staged engine's BatchBuilder materialises the
+  /// vectors — possibly shard-parallel — and moves them in; the per-region
+  /// driver buckets are rebuilt in one pass, in the same ascending
+  /// context-index order AddDriver produces).
+  void SetRiders(std::vector<WaitingRider> riders);
+  void SetDrivers(std::vector<AvailableDriver> drivers);
+
+  /// Per-shard context-index lists, shared by every ShardedBatchContext of
+  /// the batch. Built in ONE pass over riders + drivers — the former
+  /// per-shard membership scans cost O(S·(R+D)) per batch.
+  struct ShardIndex {
+    const RegionPartitioner* partitioner = nullptr;
+    std::vector<std::vector<int>> riders;   ///< by pickup-region shard
+    std::vector<std::vector<int>> drivers;  ///< by current-region shard
+  };
+
+  /// Installs a prebuilt shard index (engine path; `index.partitioner`
+  /// must be the execution's partitioner).
+  void SetShardIndex(ShardIndex index);
+
+  /// Returns the shard index for execution()->partitioner, building it in
+  /// one pass if absent. Serial and not thread-safe: call from the
+  /// coordinating thread before fanning out shard work. Null when the
+  /// context has no parallel execution attached.
+  const ShardIndex* EnsureShardIndex() const;
+
+  /// The shard index if one has been built/installed, else null (never
+  /// builds; see EnsureShardIndex).
+  const ShardIndex* shard_index() const {
+    return shard_index_.partitioner == nullptr ? nullptr : &shard_index_;
+  }
+
   /// Cap on congested drivers K for region ET queries: available drivers in
   /// the region now plus predicted rejoiners (at least 1).
   int64_t MaxDriversFor(RegionId region, int extra_drivers) const;
@@ -169,6 +201,7 @@ class BatchContext {
   std::vector<std::vector<int>> drivers_by_region_;
   std::vector<RegionSnapshot> snapshots_;
   const BatchExecution* execution_ = nullptr;
+  mutable ShardIndex shard_index_;  ///< lazily built; see EnsureShardIndex
 
   /// (region << 20 | extra) -> ET cache.
   mutable std::unordered_map<int64_t, double> idle_cache_;
@@ -181,6 +214,14 @@ class BatchContext {
 /// into the parent (BatchContext::WarmIdleCache), which cannot change any
 /// value — ET is a pure function of the immutable snapshots — so the
 /// sequential reconciliation pass sees exactly the serial path's numbers.
+///
+/// The shard's rider/driver index lists come from the parent's shared
+/// ShardIndex when one is present for `partitioner` (the pipeline and the
+/// engine always prebuild it); only contexts assembled by hand fall back to
+/// a membership scan. The view *borrows* the parent's index: mutating the
+/// parent (AddRider/AddDriver/SetRiders/SetDrivers, or an EnsureShardIndex
+/// rebuild after such a mutation) invalidates every outstanding view, like
+/// iterator invalidation on the underlying containers.
 class ShardedBatchContext {
  public:
   ShardedBatchContext(const BatchContext& parent,
@@ -192,9 +233,9 @@ class ShardedBatchContext {
   bool OwnsRegion(RegionId region) const;
 
   /// Context rider indices whose pickup region belongs to this shard.
-  const std::vector<int>& rider_indices() const { return rider_indices_; }
+  const std::vector<int>& rider_indices() const { return *rider_indices_; }
   /// Context driver indices currently located in this shard.
-  const std::vector<int>& driver_indices() const { return driver_indices_; }
+  const std::vector<int>& driver_indices() const { return *driver_indices_; }
 
   /// ET(region, extra) memoised in the shard-local table.
   double ExpectedIdleSeconds(RegionId region, int extra_drivers = 0) const;
@@ -214,8 +255,10 @@ class ShardedBatchContext {
   const BatchContext& parent_;
   const RegionPartitioner& partitioner_;
   int shard_;
-  std::vector<int> rider_indices_;
-  std::vector<int> driver_indices_;
+  const std::vector<int>* rider_indices_ = nullptr;
+  const std::vector<int>* driver_indices_ = nullptr;
+  std::vector<int> local_riders_;   ///< fallback storage (no shared index)
+  std::vector<int> local_drivers_;
   mutable std::unordered_map<int64_t, double> idle_cache_;
 };
 

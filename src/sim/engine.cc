@@ -1,13 +1,12 @@
 #include "sim/engine.h"
 
-#include <algorithm>
-#include <cassert>
-#include <deque>
 #include <memory>
-#include <queue>
 
 #include "geo/region_partitioner.h"
-#include "util/logging.h"
+#include "sim/assignment_applier.h"
+#include "sim/batch_builder.h"
+#include "sim/fleet_state.h"
+#include "sim/order_book.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -22,39 +21,16 @@ Simulator::Simulator(const SimConfig& config, const Workload& workload,
       cost_model_(cost_model),
       forecast_(forecast) {}
 
-SimResult Simulator::Run(Dispatcher& dispatcher) {
-  SimResult result;
-  result.dispatcher = dispatcher.name();
-  result.total_orders = static_cast<int64_t>(workload_.orders.size());
-  result.region_idle.assign(static_cast<size_t>(grid_.num_regions()), {});
+SimResult Simulator::Run(Dispatcher& dispatcher, SimObserver* extra) {
+  MetricsCollector metrics(dispatcher.name(),
+                           static_cast<int64_t>(workload_.orders.size()),
+                           grid_.num_regions(), config_.record_idle_samples);
+  ObserverList observers;
+  observers.Add(&metrics);
+  observers.Add(extra);
 
-  // --- Driver state ---------------------------------------------------
-  std::vector<DriverState> drivers(workload_.drivers.size());
-  for (size_t j = 0; j < drivers.size(); ++j) {
-    drivers[j].location = workload_.drivers[j].origin;
-    drivers[j].region = grid_.RegionOf(drivers[j].location);
-    drivers[j].available_since = workload_.drivers[j].join_time;
-    drivers[j].busy = false;
-  }
-  // Min-heap of (busy_until, driver index) for busy completions.
-  using BusyEntry = std::pair<double, int>;
-  std::priority_queue<BusyEntry, std::vector<BusyEntry>, std::greater<>>
-      busy_heap;
-
-  // --- Rider state ----------------------------------------------------
-  std::deque<PendingRider> waiting;
-  size_t next_order = 0;
-
-  // Drivers that (re)joined since the previous batch and need an idle-time
-  // estimate captured once the batch context (rates) exists.
-  std::vector<int> fresh_drivers;
-  fresh_drivers.reserve(drivers.size());
-  for (size_t j = 0; j < drivers.size(); ++j) {
-    fresh_drivers.push_back(static_cast<int>(j));
-  }
-
-  const double delta = config_.batch_interval;
-  const double horizon = config_.horizon_seconds;
+  FleetState fleet(workload_, grid_);
+  OrderBook orders(workload_, grid_, cost_model_, config_.alpha);
 
   // Parallel dispatch plumbing, created once and reused by every batch.
   int threads = config_.num_threads == 0 ? ThreadPool::HardwareThreads()
@@ -63,208 +39,61 @@ SimResult Simulator::Run(Dispatcher& dispatcher) {
   std::unique_ptr<RegionPartitioner> partitioner;
   BatchExecution execution;
   if (threads > 1) {
-    int shards =
-        config_.num_shards > 0 ? config_.num_shards : 2 * threads;
+    int shards = config_.num_shards > 0 ? config_.num_shards : 2 * threads;
     pool = std::make_unique<ThreadPool>(threads);
     partitioner = std::make_unique<RegionPartitioner>(
         RegionPartitioner::RowBands(grid_, shards));
     execution.pool = pool.get();
     execution.partitioner = partitioner.get();
   }
+  BatchBuilder builder(grid_, cost_model_, forecast_, config_.window_seconds,
+                       config_.reneging_beta, config_.candidate_mode,
+                       pool != nullptr ? &execution : nullptr);
+  AssignmentApplier applier(dispatcher.name(), config_.zero_pickup_travel);
 
-  for (double now = 0.0; now < horizon; now += delta) {
+  const double delta = config_.batch_interval;
+  const double horizon = config_.horizon_seconds;
+  double now = 0.0;
+  for (; now < horizon; now += delta) {
     // 1. Busy drivers finishing by `now` rejoin at their destination.
-    while (!busy_heap.empty() && busy_heap.top().first <= now) {
-      int j = busy_heap.top().second;
-      busy_heap.pop();
-      DriverState& d = drivers[static_cast<size_t>(j)];
-      d.busy = false;
-      d.location = d.busy_dest;
-      d.region = d.busy_dest_region;
-      d.available_since = d.busy_until;
-      fresh_drivers.push_back(j);
-    }
+    fleet.ReleaseFinished(now);
 
-    // 2. Inject riders that posted since the last batch.
-    while (next_order < workload_.orders.size() &&
-           workload_.orders[next_order].request_time <= now) {
-      const Order& o = workload_.orders[next_order];
-      PendingRider pr;
-      pr.order = &o;
-      pr.trip_seconds = cost_model_.TravelSeconds(o.pickup, o.dropoff);
-      pr.revenue = config_.alpha * pr.trip_seconds;
-      pr.pickup_region = grid_.RegionOf(o.pickup);
-      pr.dropoff_region = grid_.RegionOf(o.dropoff);
-      waiting.push_back(pr);
-      ++next_order;
-    }
+    // 2. Riders that posted since the last batch enter the book; expired
+    //    riders renege.
+    orders.InjectArrivals(now);
+    orders.RemoveExpired(now, &observers);
 
-    // 3. Expired riders renege.
-    std::erase_if(waiting, [&](const PendingRider& pr) {
-      if (pr.order->pickup_deadline < now) {
-        ++result.reneged_orders;
-        return true;
-      }
-      return false;
-    });
-
-    if (waiting.empty() && fresh_drivers.empty() && busy_heap.empty() &&
-        next_order >= workload_.orders.size()) {
+    if (orders.waiting().empty() && !fleet.HasFreshDrivers() &&
+        !fleet.HasBusyDrivers() && orders.Exhausted()) {
       break;  // nothing left to do
     }
 
-    // 4. Build the batch context.
-    BatchContext ctx(now, config_.window_seconds, config_.reneging_beta,
-                     grid_, cost_model_, config_.candidate_mode);
-    if (pool != nullptr) ctx.SetExecution(&execution);
-    std::vector<int> rider_backing;  // waiting index per ctx rider
-    rider_backing.reserve(waiting.size());
-    for (size_t i = 0; i < waiting.size(); ++i) {
-      const PendingRider& pr = waiting[i];
-      WaitingRider wr;
-      wr.order_id = pr.order->id;
-      wr.pickup = pr.order->pickup;
-      wr.dropoff = pr.order->dropoff;
-      wr.request_time = pr.order->request_time;
-      wr.pickup_deadline = pr.order->pickup_deadline;
-      wr.revenue = pr.revenue;
-      wr.trip_seconds = pr.trip_seconds;
-      wr.pickup_region = pr.pickup_region;
-      wr.dropoff_region = pr.dropoff_region;
-      ctx.AddRider(wr);
-      rider_backing.push_back(static_cast<int>(i));
-    }
-    std::vector<int> driver_backing;  // driver index per ctx driver
-    for (size_t j = 0; j < drivers.size(); ++j) {
-      const DriverState& d = drivers[j];
-      if (d.busy) continue;
-      AvailableDriver ad;
-      ad.driver_id = static_cast<DriverId>(j);
-      ad.location = d.location;
-      ad.region = d.region;
-      ad.available_since = d.available_since;
-      ctx.AddDriver(ad);
-      driver_backing.push_back(static_cast<int>(j));
-    }
+    // 3. Build the batch context off the incremental counters.
+    fleet.AdvanceRejoinWindow(now, config_.window_seconds);
+    Stopwatch build_watch;
+    std::unique_ptr<BatchContext> ctx = builder.Build(now, orders, fleet);
+    observers.OnBatchBuilt(now, build_watch.ElapsedSeconds(), *ctx);
 
-    std::vector<RegionSnapshot> snaps(
-        static_cast<size_t>(grid_.num_regions()));
-    for (const auto& r : ctx.riders()) {
-      ++snaps[static_cast<size_t>(r.pickup_region)].waiting_riders;
-    }
-    for (const auto& d : ctx.drivers()) {
-      ++snaps[static_cast<size_t>(d.region)].available_drivers;
-    }
-    if (forecast_ != nullptr) {
-      for (int k = 0; k < grid_.num_regions(); ++k) {
-        snaps[static_cast<size_t>(k)].predicted_riders =
-            forecast_->WindowCount(now, config_.window_seconds, k);
-      }
-    }
-    {
-      // Rejoined-driver schedule over [now, now + t_c]: exact from the
-      // busy-driver completion times (§3.1.2: supply is known from the
-      // schedules of active drivers).
-      for (const auto& d : drivers) {
-        if (d.busy && d.busy_until > now &&
-            d.busy_until <= now + config_.window_seconds) {
-          snaps[static_cast<size_t>(d.busy_dest_region)].predicted_drivers +=
-              1.0;
-        }
-      }
-    }
-    ctx.SetSnapshots(std::move(snaps));
+    // 4. Capture idle-time estimates for freshly (re)joined drivers.
+    fleet.CaptureIdleEstimates(config_.record_idle_samples ? ctx.get()
+                                                           : nullptr);
 
-    // 5. Capture idle-time estimates for freshly (re)joined drivers.
-    if (config_.record_idle_samples) {
-      for (int j : fresh_drivers) {
-        DriverState& d = drivers[static_cast<size_t>(j)];
-        if (d.busy) continue;
-        d.pending_estimate = ctx.ExpectedIdleSeconds(d.region);
-      }
-    }
-    fresh_drivers.clear();
-
-    // 6. Dispatch.
+    // 5. Dispatch.
     std::vector<Assignment> assignments;
-    Stopwatch watch;
-    dispatcher.Dispatch(ctx, &assignments);
-    result.batch_seconds.Add(watch.ElapsedSeconds());
-    ++result.num_batches;
+    Stopwatch dispatch_watch;
+    dispatcher.Dispatch(*ctx, &assignments);
+    observers.OnDispatchDone(now, dispatch_watch.ElapsedSeconds(),
+                             assignments);
 
-    // 7. Apply assignments.
-    std::vector<char> rider_taken(ctx.riders().size(), false);
-    std::vector<char> driver_taken(ctx.drivers().size(), false);
-    std::vector<int> served_waiting_indices;
-    for (const Assignment& a : assignments) {
-      if (a.rider_index < 0 ||
-          a.rider_index >= static_cast<int>(ctx.riders().size()) ||
-          a.driver_index < 0 ||
-          a.driver_index >= static_cast<int>(ctx.drivers().size())) {
-        MRVD_LOG(Warn) << dispatcher.name() << ": assignment out of range";
-        continue;
-      }
-      if (rider_taken[static_cast<size_t>(a.rider_index)] ||
-          driver_taken[static_cast<size_t>(a.driver_index)]) {
-        MRVD_LOG(Warn) << dispatcher.name() << ": duplicate assignment";
-        continue;
-      }
-      const WaitingRider& r = ctx.riders()[static_cast<size_t>(a.rider_index)];
-      const AvailableDriver& ad =
-          ctx.drivers()[static_cast<size_t>(a.driver_index)];
-      double pickup_tt = config_.zero_pickup_travel
-                             ? 0.0
-                             : ctx.PickupSeconds(ad, r);
-      if (!config_.zero_pickup_travel &&
-          now + pickup_tt > r.pickup_deadline) {
-        // Invalid pair (violates Def. 3); dispatchers must not emit these.
-        MRVD_LOG(Warn) << dispatcher.name() << ": invalid pair emitted";
-        continue;
-      }
-      rider_taken[static_cast<size_t>(a.rider_index)] = true;
-      driver_taken[static_cast<size_t>(a.driver_index)] = true;
-
-      int j = driver_backing[static_cast<size_t>(a.driver_index)];
-      DriverState& d = drivers[static_cast<size_t>(j)];
-      // Idle-time sample: estimate captured at rejoin vs. realized idle.
-      double real_idle = now - d.available_since;
-      if (config_.record_idle_samples && d.pending_estimate >= 0.0) {
-        result.idle_error.Add(d.pending_estimate, real_idle);
-        auto& reg = result.region_idle[static_cast<size_t>(d.region)];
-        reg.predicted_sum += d.pending_estimate;
-        reg.real_sum += real_idle;
-        ++reg.count;
-      }
-      result.driver_idle_seconds.Add(real_idle);
-      d.pending_estimate = -1.0;
-
-      d.busy = true;
-      d.busy_until = now + pickup_tt + r.trip_seconds;
-      d.busy_dest = r.dropoff;
-      d.busy_dest_region = r.dropoff_region;
-      busy_heap.push({d.busy_until, j});
-
-      result.total_revenue += r.revenue;
-      ++result.served_orders;
-      result.served_wait_seconds.Add(now - r.request_time);
-      served_waiting_indices.push_back(
-          rider_backing[static_cast<size_t>(a.rider_index)]);
-    }
-
-    // Remove served riders from the waiting pool (descending order keeps
-    // the remaining indices valid).
-    std::sort(served_waiting_indices.begin(), served_waiting_indices.end(),
-              std::greater<>());
-    for (int w : served_waiting_indices) {
-      waiting.erase(waiting.begin() + w);
-    }
+    // 6. Apply assignments and compact the served riders out of the book.
+    applier.Apply(now, *ctx, assignments, &fleet, &orders, &observers);
+    observers.OnBatchEnd(now);
   }
 
-  // Anything left waiting at the horizon never got served.
-  result.reneged_orders += static_cast<int64_t>(waiting.size());
-  result.reneged_orders += static_cast<int64_t>(workload_.orders.size() -
-                                                next_order);
-  return result;
+  // Anything left waiting (or never injected) at the horizon never got
+  // served.
+  observers.OnRunEnd(now, orders.UnservedRemainder());
+  return metrics.TakeResult();
 }
 
 }  // namespace mrvd

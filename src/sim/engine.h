@@ -3,6 +3,14 @@
 // drivers are snapshotted, the dispatcher selects rider-driver pairs, and
 // assigned drivers drive to the pickup and then the dropoff, rejoining the
 // platform at the destination region.
+//
+// The engine is staged: FleetState (driver lifecycle + incremental supply
+// counters), OrderBook (arrivals, reneging, served-rider compaction +
+// incremental demand counters), BatchBuilder (shard-parallel context
+// materialisation off the incremental counters), and AssignmentApplier,
+// with SimObserver hooks carrying every measurable event. Simulator::Run
+// wires the stages together; SimResult is produced by the MetricsCollector
+// observer.
 #pragma once
 
 #include <memory>
@@ -13,6 +21,7 @@
 #include "prediction/forecast.h"
 #include "sim/batch.h"
 #include "sim/metrics.h"
+#include "sim/observer.h"
 #include "workload/types.h"
 
 namespace mrvd {
@@ -57,30 +66,13 @@ class Simulator {
             const DemandForecast* forecast);
 
   /// Runs the full horizon with `dispatcher` and returns the aggregates.
-  /// Can be called repeatedly (state resets each time).
-  SimResult Run(Dispatcher& dispatcher);
+  /// Can be called repeatedly (state resets each time). `observer` (may be
+  /// null) receives every engine event alongside the built-in metrics
+  /// collection — the hook points for custom studies and future streaming
+  /// workload scenarios (driver shifts, cancellations, mid-day surges).
+  SimResult Run(Dispatcher& dispatcher, SimObserver* observer = nullptr);
 
  private:
-  struct DriverState {
-    LatLon location;
-    RegionId region = kInvalidRegion;
-    double available_since = 0.0;
-    bool busy = false;
-    double busy_until = 0.0;
-    LatLon busy_dest;
-    RegionId busy_dest_region = kInvalidRegion;
-    /// Idle-time estimate captured when the driver (re)joined a queue.
-    double pending_estimate = -1.0;  ///< < 0: none
-  };
-
-  struct PendingRider {
-    const Order* order = nullptr;
-    double trip_seconds = 0.0;
-    double revenue = 0.0;
-    RegionId pickup_region = kInvalidRegion;
-    RegionId dropoff_region = kInvalidRegion;
-  };
-
   const SimConfig config_;
   const Workload& workload_;
   const Grid& grid_;

@@ -1,0 +1,82 @@
+#include "sim/fleet_state.h"
+
+namespace mrvd {
+
+FleetState::FleetState(const Workload& workload, const Grid& grid) {
+  drivers_.resize(workload.drivers.size());
+  available_by_region_.assign(static_cast<size_t>(grid.num_regions()), 0);
+  rejoining_in_window_.assign(static_cast<size_t>(grid.num_regions()), 0);
+  fresh_drivers_.reserve(drivers_.size());
+  for (size_t j = 0; j < drivers_.size(); ++j) {
+    DriverState& d = drivers_[j];
+    d.location = workload.drivers[j].origin;
+    d.region = grid.RegionOf(d.location);
+    d.available_since = workload.drivers[j].join_time;
+    d.busy = false;
+    fresh_drivers_.push_back(static_cast<int>(j));
+    ++available_by_region_[static_cast<size_t>(d.region)];
+  }
+  available_count_ = static_cast<int64_t>(drivers_.size());
+}
+
+void FleetState::ReleaseFinished(double now) {
+  while (!busy_heap_.empty() && busy_heap_.top().first <= now) {
+    int j = busy_heap_.top().second;
+    busy_heap_.pop();
+    DriverState& d = drivers_[static_cast<size_t>(j)];
+    if (d.counted_in_window) {
+      // The completion event leaves the window the moment it realizes.
+      --rejoining_in_window_[static_cast<size_t>(d.busy_dest_region)];
+      d.counted_in_window = false;
+    }
+    d.busy = false;
+    d.location = d.busy_dest;
+    d.region = d.busy_dest_region;
+    d.available_since = d.busy_until;
+    ++available_by_region_[static_cast<size_t>(d.region)];
+    ++available_count_;
+    fresh_drivers_.push_back(j);
+  }
+}
+
+void FleetState::AdvanceRejoinWindow(double now, double window_seconds) {
+  const double window_end = now + window_seconds;
+  while (!window_heap_.empty() && window_heap_.top().first <= window_end) {
+    auto [completes_at, j] = window_heap_.top();
+    window_heap_.pop();
+    // Events already realized (completes_at <= now) were handled by
+    // ReleaseFinished and never enter the count — exactly the monolithic
+    // engine's strict `now < busy_until <= now + t_c` recount condition.
+    if (completes_at > now) {
+      DriverState& d = drivers_[static_cast<size_t>(j)];
+      ++rejoining_in_window_[static_cast<size_t>(d.busy_dest_region)];
+      d.counted_in_window = true;
+    }
+  }
+}
+
+void FleetState::MarkBusy(int j, double busy_until, const LatLon& dest,
+                          RegionId dest_region) {
+  DriverState& d = drivers_[static_cast<size_t>(j)];
+  --available_by_region_[static_cast<size_t>(d.region)];
+  --available_count_;
+  d.busy = true;
+  d.busy_until = busy_until;
+  d.busy_dest = dest;
+  d.busy_dest_region = dest_region;
+  busy_heap_.push({busy_until, j});
+  window_heap_.push({busy_until, j});
+}
+
+void FleetState::CaptureIdleEstimates(const BatchContext* ctx) {
+  if (ctx != nullptr) {
+    for (int j : fresh_drivers_) {
+      DriverState& d = drivers_[static_cast<size_t>(j)];
+      if (d.busy) continue;
+      d.pending_estimate = ctx->ExpectedIdleSeconds(d.region);
+    }
+  }
+  fresh_drivers_.clear();
+}
+
+}  // namespace mrvd

@@ -1,0 +1,105 @@
+// Driver-lifecycle stage of the staged engine: owns every driver's state,
+// the busy-completion heap, and the *incremental* supply-side region
+// counters the BatchBuilder reads instead of rescanning the fleet each
+// batch:
+//
+//   * available_by_region() — |D_k| per region, updated on assignment and
+//     rejoin;
+//   * rejoining_in_window() — the rejoined-driver schedule |D̂_k| over
+//     (now, now + t_c] (§3.1.2: supply is known from the schedules of
+//     active drivers), maintained by a window-entry heap plus a per-driver
+//     "counted" flag so each completion event is counted while — and only
+//     while — it lies inside the sliding window.
+//
+// Both counters are integer deltas of the quantities the monolithic engine
+// recounted per batch, so every snapshot they feed is bit-identical.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "geo/grid.h"
+#include "sim/batch.h"
+#include "workload/types.h"
+
+namespace mrvd {
+
+/// Mutable state of one driver across the day.
+struct DriverState {
+  LatLon location;
+  RegionId region = kInvalidRegion;
+  double available_since = 0.0;
+  bool busy = false;
+  double busy_until = 0.0;
+  LatLon busy_dest;
+  RegionId busy_dest_region = kInvalidRegion;
+  /// Idle-time estimate captured when the driver (re)joined a queue.
+  double pending_estimate = -1.0;  ///< < 0: none
+  /// True while this driver's completion is counted in rejoining_in_window_.
+  bool counted_in_window = false;
+};
+
+class FleetState {
+ public:
+  FleetState(const Workload& workload, const Grid& grid);
+
+  int size() const { return static_cast<int>(drivers_.size()); }
+  const DriverState& driver(int j) const {
+    return drivers_[static_cast<size_t>(j)];
+  }
+  const std::vector<DriverState>& drivers() const { return drivers_; }
+
+  /// Algorithm 1 step: busy drivers whose trip completes by `now` rejoin
+  /// the platform at their dropoff (location, region, available_since all
+  /// advance) and are queued for a fresh idle-time estimate.
+  void ReleaseFinished(double now);
+
+  /// Slides the rejoined-driver window to (now, now + window_seconds]:
+  /// completion events entering the window start counting toward their
+  /// dropoff region's predicted supply. Call once per batch, after
+  /// ReleaseFinished and before the snapshot build.
+  void AdvanceRejoinWindow(double now, double window_seconds);
+
+  /// Marks driver `j` busy until `busy_until`, bound for `dest`; the
+  /// completion event is scheduled into the rejoin window.
+  void MarkBusy(int j, double busy_until, const LatLon& dest,
+                RegionId dest_region);
+
+  /// Captures ET estimates for drivers that (re)joined since the last call
+  /// (skipped when `ctx` is null, but the fresh list is always consumed).
+  void CaptureIdleEstimates(const BatchContext* ctx);
+
+  /// Clears a driver's captured estimate once it has been consumed.
+  void ClearIdleEstimate(int j) {
+    drivers_[static_cast<size_t>(j)].pending_estimate = -1.0;
+  }
+
+  /// |D_k|: available (non-busy) drivers currently in each region.
+  const std::vector<int64_t>& available_by_region() const {
+    return available_by_region_;
+  }
+
+  /// |D̂_k|: busy drivers rejoining region k within the current window.
+  const std::vector<int32_t>& rejoining_in_window() const {
+    return rejoining_in_window_;
+  }
+
+  int64_t available_count() const { return available_count_; }
+  bool HasBusyDrivers() const { return !busy_heap_.empty(); }
+  bool HasFreshDrivers() const { return !fresh_drivers_.empty(); }
+
+ private:
+  using TimedDriver = std::pair<double, int>;  ///< (time, driver index)
+  using MinHeap = std::priority_queue<TimedDriver, std::vector<TimedDriver>,
+                                      std::greater<>>;
+
+  std::vector<DriverState> drivers_;
+  MinHeap busy_heap_;    ///< (busy_until, j): pending trip completions
+  MinHeap window_heap_;  ///< (busy_until, j): not yet inside the window
+  std::vector<int> fresh_drivers_;  ///< (re)joined since the last capture
+  std::vector<int64_t> available_by_region_;
+  std::vector<int32_t> rejoining_in_window_;
+  int64_t available_count_ = 0;
+};
+
+}  // namespace mrvd

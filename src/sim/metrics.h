@@ -36,7 +36,8 @@ struct SimResult {
 
   // Batch processing (Figures 7b-10b).
   int64_t num_batches = 0;
-  RunningStats batch_seconds;
+  RunningStats batch_seconds;        ///< dispatcher time per batch
+  RunningStats batch_build_seconds;  ///< batch-construction time per batch
 
   // Idle-time estimation study (Table 3, Figure 6).
   ErrorStats idle_error;                    ///< (estimated, real) pairs

@@ -1,0 +1,52 @@
+#include "sim/observer.h"
+
+#include "sim/batch.h"
+
+namespace mrvd {
+
+MetricsCollector::MetricsCollector(const std::string& dispatcher_name,
+                                   int64_t total_orders, int num_regions,
+                                   bool record_idle_samples)
+    : record_idle_samples_(record_idle_samples) {
+  result_.dispatcher = dispatcher_name;
+  result_.total_orders = total_orders;
+  result_.region_idle.assign(static_cast<size_t>(num_regions), {});
+}
+
+void MetricsCollector::OnBatchBuilt(double /*now*/, double build_seconds,
+                                    const BatchContext& /*ctx*/) {
+  result_.batch_build_seconds.Add(build_seconds);
+}
+
+void MetricsCollector::OnDispatchDone(
+    double /*now*/, double dispatch_seconds,
+    const std::vector<Assignment>& /*assignments*/) {
+  result_.batch_seconds.Add(dispatch_seconds);
+  ++result_.num_batches;
+}
+
+void MetricsCollector::OnAssignmentApplied(double /*now*/,
+                                           const AssignmentEvent& e) {
+  if (record_idle_samples_ && e.idle_estimate >= 0.0) {
+    result_.idle_error.Add(e.idle_estimate, e.real_idle_seconds);
+    auto& reg = result_.region_idle[static_cast<size_t>(e.driver_region)];
+    reg.predicted_sum += e.idle_estimate;
+    reg.real_sum += e.real_idle_seconds;
+    ++reg.count;
+  }
+  result_.driver_idle_seconds.Add(e.real_idle_seconds);
+  result_.total_revenue += e.revenue;
+  ++result_.served_orders;
+  result_.served_wait_seconds.Add(e.wait_seconds);
+}
+
+void MetricsCollector::OnRiderReneged(double /*now*/, const Order& /*order*/) {
+  ++result_.reneged_orders;
+}
+
+void MetricsCollector::OnRunEnd(double /*end_time*/,
+                                int64_t never_dispatched) {
+  result_.reneged_orders += never_dispatched;
+}
+
+}  // namespace mrvd

@@ -1,0 +1,145 @@
+// Observation hooks for the staged simulation engine. The engine core
+// (fleet lifecycle, order book, batch construction, assignment application)
+// emits events through a SimObserver instead of interleaving metrics
+// bookkeeping with simulation logic; SimResult itself is produced by the
+// MetricsCollector observer below, and callers can attach their own
+// observer to Simulator::Run for custom studies (per-hour breakdowns,
+// traces, streaming-scenario triggers) without touching the engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/grid.h"
+#include "sim/metrics.h"
+#include "workload/types.h"
+
+namespace mrvd {
+
+class BatchContext;
+struct Assignment;
+
+/// One accepted rider-driver assignment, fully resolved by the
+/// AssignmentApplier (indices refer to the batch's BatchContext).
+struct AssignmentEvent {
+  int rider_index = -1;
+  int driver_index = -1;
+  OrderId order_id = -1;
+  DriverId driver_id = -1;
+  RegionId driver_region = kInvalidRegion;  ///< region the driver idled in
+  double pickup_seconds = 0.0;   ///< travel to the pickup (0 in UPPER mode)
+  double wait_seconds = 0.0;     ///< request -> assignment wait
+  double real_idle_seconds = 0.0;
+  double idle_estimate = -1.0;   ///< ET captured at (re)join; < 0: none
+  double revenue = 0.0;
+  double busy_until = 0.0;       ///< when the driver rejoins the platform
+};
+
+/// Engine lifecycle hooks. All hooks default to no-ops; implement what you
+/// need. Per batch the engine fires, in order: OnBatchBuilt (context fully
+/// materialised, before dispatch), OnDispatchDone (assignments selected,
+/// not yet applied), OnAssignmentApplied (once per accepted pair, in
+/// application order), OnBatchEnd. OnRiderReneged fires as riders expire,
+/// before the batch is built; OnRunEnd fires once after the horizon.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// The batch context is complete (riders, drivers, snapshots, sharding).
+  /// `build_seconds` is the wall time of the incremental construction.
+  virtual void OnBatchBuilt(double now, double build_seconds,
+                            const BatchContext& ctx) {
+    (void)now, (void)build_seconds, (void)ctx;
+  }
+
+  /// The dispatcher returned; assignments have not been applied yet.
+  virtual void OnDispatchDone(double now, double dispatch_seconds,
+                              const std::vector<Assignment>& assignments) {
+    (void)now, (void)dispatch_seconds, (void)assignments;
+  }
+
+  /// One accepted assignment was applied to the fleet and order book.
+  virtual void OnAssignmentApplied(double now, const AssignmentEvent& e) {
+    (void)now, (void)e;
+  }
+
+  /// A waiting rider's pickup deadline passed before any assignment.
+  /// Orders still unserved when the horizon ends do NOT fire this hook —
+  /// they are reported in bulk via OnRunEnd's `never_dispatched` (so
+  /// per-hook renege tallies plus that remainder equal
+  /// SimResult::reneged_orders).
+  virtual void OnRiderReneged(double now, const Order& order) {
+    (void)now, (void)order;
+  }
+
+  /// All assignments of the batch are applied and served riders compacted.
+  virtual void OnBatchEnd(double now) { (void)now; }
+
+  /// The run is over. `never_dispatched` counts orders still waiting at the
+  /// horizon plus orders whose request time was never reached.
+  virtual void OnRunEnd(double end_time, int64_t never_dispatched) {
+    (void)end_time, (void)never_dispatched;
+  }
+};
+
+/// Fans every hook out to a list of observers, in registration order.
+class ObserverList final : public SimObserver {
+ public:
+  void Add(SimObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  void OnBatchBuilt(double now, double build_seconds,
+                    const BatchContext& ctx) override {
+    for (SimObserver* o : observers_) o->OnBatchBuilt(now, build_seconds, ctx);
+  }
+  void OnDispatchDone(double now, double dispatch_seconds,
+                      const std::vector<Assignment>& assignments) override {
+    for (SimObserver* o : observers_) {
+      o->OnDispatchDone(now, dispatch_seconds, assignments);
+    }
+  }
+  void OnAssignmentApplied(double now, const AssignmentEvent& e) override {
+    for (SimObserver* o : observers_) o->OnAssignmentApplied(now, e);
+  }
+  void OnRiderReneged(double now, const Order& order) override {
+    for (SimObserver* o : observers_) o->OnRiderReneged(now, order);
+  }
+  void OnBatchEnd(double now) override {
+    for (SimObserver* o : observers_) o->OnBatchEnd(now);
+  }
+  void OnRunEnd(double end_time, int64_t never_dispatched) override {
+    for (SimObserver* o : observers_) o->OnRunEnd(end_time, never_dispatched);
+  }
+
+ private:
+  std::vector<SimObserver*> observers_;
+};
+
+/// Accumulates the SimResult aggregates from the engine's event stream.
+/// The accumulation order matches the event order, so the streaming
+/// statistics (Welford accumulators) are bit-identical to the former
+/// inline bookkeeping of the monolithic engine loop.
+class MetricsCollector final : public SimObserver {
+ public:
+  MetricsCollector(const std::string& dispatcher_name, int64_t total_orders,
+                   int num_regions, bool record_idle_samples);
+
+  void OnBatchBuilt(double now, double build_seconds,
+                    const BatchContext& ctx) override;
+  void OnDispatchDone(double now, double dispatch_seconds,
+                      const std::vector<Assignment>& assignments) override;
+  void OnAssignmentApplied(double now, const AssignmentEvent& e) override;
+  void OnRiderReneged(double now, const Order& order) override;
+  void OnRunEnd(double end_time, int64_t never_dispatched) override;
+
+  /// Moves the finished result out (the collector is spent afterwards).
+  SimResult TakeResult() { return std::move(result_); }
+
+ private:
+  SimResult result_;
+  bool record_idle_samples_;
+};
+
+}  // namespace mrvd

@@ -1,0 +1,50 @@
+#include "sim/order_book.h"
+
+#include <algorithm>
+
+namespace mrvd {
+
+OrderBook::OrderBook(const Workload& workload, const Grid& grid,
+                     const TravelCostModel& cost_model, double alpha)
+    : workload_(workload), grid_(grid), cost_model_(cost_model), alpha_(alpha) {
+  demand_by_region_.assign(static_cast<size_t>(grid.num_regions()), 0);
+}
+
+void OrderBook::InjectArrivals(double now) {
+  while (next_order_ < workload_.orders.size() &&
+         workload_.orders[next_order_].request_time <= now) {
+    const Order& o = workload_.orders[next_order_];
+    PendingRider pr;
+    pr.order = &o;
+    pr.trip_seconds = cost_model_.TravelSeconds(o.pickup, o.dropoff);
+    pr.revenue = alpha_ * pr.trip_seconds;
+    pr.pickup_region = grid_.RegionOf(o.pickup);
+    pr.dropoff_region = grid_.RegionOf(o.dropoff);
+    waiting_.push_back(pr);
+    ++demand_by_region_[static_cast<size_t>(pr.pickup_region)];
+    ++next_order_;
+  }
+}
+
+void OrderBook::RemoveExpired(double now, SimObserver* observer) {
+  std::erase_if(waiting_, [&](const PendingRider& pr) {
+    if (pr.order->pickup_deadline < now) {
+      --demand_by_region_[static_cast<size_t>(pr.pickup_region)];
+      if (observer != nullptr) observer->OnRiderReneged(now, *pr.order);
+      return true;
+    }
+    return false;
+  });
+}
+
+void OrderBook::MarkServed(int waiting_index) {
+  PendingRider& pr = waiting_[static_cast<size_t>(waiting_index)];
+  pr.served = true;
+  --demand_by_region_[static_cast<size_t>(pr.pickup_region)];
+}
+
+void OrderBook::CompactServed() {
+  std::erase_if(waiting_, [](const PendingRider& pr) { return pr.served; });
+}
+
+}  // namespace mrvd

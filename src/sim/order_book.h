@@ -1,0 +1,90 @@
+// Order-book stage of the staged engine: owns the waiting-rider pool and
+// the demand-side region counters. Riders are injected as their request
+// times pass, renege when their pickup deadline expires, and leave the pool
+// when served. Serving uses mark-and-compact — assignments only flip a
+// flag, and one stable compaction pass per batch removes all served riders
+// — so a batch with A assignments costs O(W + A) instead of the former
+// O(A · W) per-assignment deque erases. The pool's relative order (arrival
+// order) is preserved by the stable compaction, which keeps the batch's
+// canonical rider order — and therefore every dispatcher's output —
+// bit-identical to the monolithic engine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/travel.h"
+#include "sim/observer.h"
+#include "workload/types.h"
+
+namespace mrvd {
+
+/// A rider waiting to be dispatched, with the derived per-order quantities
+/// (trip cost, revenue, regions) computed once at injection.
+struct PendingRider {
+  const Order* order = nullptr;
+  double trip_seconds = 0.0;
+  double revenue = 0.0;
+  RegionId pickup_region = kInvalidRegion;
+  RegionId dropoff_region = kInvalidRegion;
+  bool served = false;  ///< marked by the applier, removed by CompactServed
+};
+
+class OrderBook {
+ public:
+  /// `alpha` is the travel-fee rate (revenue = alpha * trip_seconds). All
+  /// referenced objects must outlive the book.
+  OrderBook(const Workload& workload, const Grid& grid,
+            const TravelCostModel& cost_model, double alpha);
+
+  /// Injects every order with request_time <= now (orders are sorted).
+  void InjectArrivals(double now);
+
+  /// Removes riders whose pickup deadline passed, notifying `observer`
+  /// (may be null) per renege in pool order.
+  void RemoveExpired(double now, SimObserver* observer);
+
+  /// Flags the rider at `waiting_index` as served and updates the demand
+  /// counter; the rider stays in place until CompactServed().
+  void MarkServed(int waiting_index);
+
+  /// Removes all served riders in one stable pass; call once per batch
+  /// after the assignments are applied.
+  void CompactServed();
+
+  /// Waiting riders in arrival order. Indices into this deque are the batch
+  /// context's rider indices (the builder materialises all of them, in
+  /// order), so Assignment::rider_index addresses this pool directly.
+  const std::deque<PendingRider>& waiting() const { return waiting_; }
+
+  /// |R_k|: unserved in-deadline riders per pickup region.
+  const std::vector<int64_t>& demand_by_region() const {
+    return demand_by_region_;
+  }
+
+  /// True once every order of the workload has been injected.
+  bool Exhausted() const {
+    return next_order_ >= workload_.orders.size();
+  }
+
+  /// Orders that will never be dispatched if the run stops now: the
+  /// still-waiting pool plus orders whose request time was never reached.
+  int64_t UnservedRemainder() const {
+    return static_cast<int64_t>(waiting_.size()) +
+           static_cast<int64_t>(workload_.orders.size() - next_order_);
+  }
+
+ private:
+  const Workload& workload_;
+  const Grid& grid_;
+  const TravelCostModel& cost_model_;
+  const double alpha_;
+
+  std::deque<PendingRider> waiting_;
+  size_t next_order_ = 0;
+  std::vector<int64_t> demand_by_region_;
+};
+
+}  // namespace mrvd

@@ -28,6 +28,7 @@ TEST(RegionPartitionerTest, RowBandsCoverEveryRegionOnce) {
     RegionPartitioner parts = RegionPartitioner::RowBands(grid, k);
     EXPECT_LE(parts.num_shards(), grid.rows());
     EXPECT_GE(parts.num_shards(), 1);
+    EXPECT_EQ(parts.num_regions(), grid.num_regions());
     std::vector<int> seen(static_cast<size_t>(grid.num_regions()), 0);
     for (int s = 0; s < parts.num_shards(); ++s) {
       EXPECT_FALSE(parts.shard_regions()[static_cast<size_t>(s)].empty())
