@@ -284,7 +284,9 @@ int Main() {
        << "  \"riders\": " << num_riders << ",\n"
        << "  \"drivers\": " << num_drivers << ",\n"
        << "  \"reps\": " << reps << ",\n"
-       << "  \"hardware_threads\": " << ThreadPool::HardwareThreads()
+       // The box's hardware concurrency, embedded so bench diffs across
+       // machines stay comparable (a 1-core run cannot show speedups).
+       << "  \"hardware_concurrency\": " << ThreadPool::HardwareThreads()
        << ",\n"
        << "  \"results\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {

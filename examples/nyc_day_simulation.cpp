@@ -5,19 +5,35 @@
 // engine.
 //
 // Usage:
-//   ./build/examples/nyc_day_simulation [orders_per_day] [num_drivers]
-// A real TLC trip CSV can be substituted for the generator by passing its
-// path as a third argument.
+//   ./build/examples/nyc_day_simulation [options] [orders_per_day]
+//                                       [num_drivers] [tlc.csv]
+// Options:
+//   --orders N      orders per generated day        (default 30000)
+//   --drivers N     fleet size                      (default 300)
+//   --tlc PATH      real TLC trip CSV instead of the generator
+//   --threads N     dispatch worker threads; 0 = hardware concurrency
+//                   (default 1 = serial)
+//   --shards N      region shards for the parallel pipeline; 0 derives
+//                   2x the worker count (default 0)
+//   --scenario S    "none" (default) or "day": a scripted two-shift +
+//                   cancellation-hazard + rush-hour-surge day through the
+//                   scenario event subsystem (see examples/scenario_day.cpp
+//                   for the full roster under that script)
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dispatch/dispatchers.h"
 #include "geo/travel.h"
 #include "prediction/forecast.h"
 #include "prediction/predictor.h"
+#include "scenario/generator.h"
 #include "sim/engine.h"
+#include "util/strings.h"
 #include "workload/generator.h"
 #include "workload/tlc_parser.h"
 
@@ -53,19 +69,113 @@ class HourlyBreakdown : public SimObserver {
   int64_t reneged_[24] = {};
 };
 
+/// Command-line configuration; positional [orders] [drivers] [tlc.csv] are
+/// still accepted for backward compatibility.
+struct CliOptions {
+  double orders = 30000.0;
+  int drivers = 300;
+  std::string tlc_path;
+  int threads = 1;
+  int shards = 0;
+  std::string scenario = "none";
+};
+
+/// Full-consumption numeric parsing on top of util/strings.h: "3OO",
+/// "30k" and int-overflowing values are rejected, not silently truncated
+/// the way atof/atoi would.
+bool ParseNumber(const char* s, double* out) {
+  StatusOr<double> v = ParseDouble(s);
+  if (!v.ok()) return false;
+  *out = v.value();
+  return true;
+}
+
+bool ParseNumber(const char* s, int* out) {
+  StatusOr<int64_t> v = ParseInt64(s);
+  if (!v.ok() || v.value() < INT_MIN || v.value() > INT_MAX) return false;
+  *out = static_cast<int>(v.value());
+  return true;
+}
+
+bool ParseCli(int argc, char** argv, CliOptions* opt) {
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // A flag's value must not itself look like a flag — "--orders --drivers
+    // 500" is a missing value, not orders = 0.
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    auto numeric = [&](auto* out) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      if (!ParseNumber(v, out)) {
+        std::fprintf(stderr, "bad value for %s: %s\n", arg.c_str(), v);
+        return false;
+      }
+      return true;
+    };
+    if (arg == "--orders") {
+      if (!numeric(&opt->orders)) return false;
+    } else if (arg == "--drivers") {
+      if (!numeric(&opt->drivers)) return false;
+    } else if (arg == "--tlc") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->tlc_path = v;
+    } else if (arg == "--threads") {
+      if (!numeric(&opt->threads)) return false;
+    } else if (arg == "--shards") {
+      if (!numeric(&opt->shards)) return false;
+    } else if (arg == "--scenario") {
+      const char* v = value();
+      if (v == nullptr || (std::strcmp(v, "none") != 0 &&
+                           std::strcmp(v, "day") != 0)) {
+        return false;
+      }
+      opt->scenario = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else if (positional == 0) {
+      if (!ParseNumber(arg.c_str(), &opt->orders)) return false;
+      ++positional;
+    } else if (positional == 1) {
+      if (!ParseNumber(arg.c_str(), &opt->drivers)) return false;
+      ++positional;
+    } else if (positional == 2) {
+      opt->tlc_path = arg;
+      ++positional;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  double orders = argc > 1 ? std::atof(argv[1]) : 30000.0;
-  int drivers = argc > 2 ? std::atoi(argv[2]) : 300;
+  CliOptions opt;
+  if (!ParseCli(argc, argv, &opt)) {
+    std::fprintf(stderr,
+                 "usage: %s [--orders N] [--drivers N] [--tlc PATH] "
+                 "[--threads N] [--shards N] [--scenario none|day]\n",
+                 argv[0]);
+    return 2;
+  }
 
   GeneratorConfig gen_cfg;
-  gen_cfg.orders_per_day = orders;
+  gen_cfg.orders_per_day = opt.orders;
   NycLikeGenerator generator(gen_cfg);
 
   Workload day;
-  if (argc > 3) {
-    auto parsed = ParseTlcCsv(argv[3], drivers);
+  if (!opt.tlc_path.empty()) {
+    auto parsed = ParseTlcCsv(opt.tlc_path.c_str(), opt.drivers);
     if (!parsed.ok()) {
       std::fprintf(stderr, "TLC parse failed: %s\n",
                    parsed.status().ToString().c_str());
@@ -74,8 +184,20 @@ int main(int argc, char** argv) {
     day = std::move(parsed).value();
     std::printf("loaded %zu TLC orders\n", day.orders.size());
   } else {
-    day = generator.GenerateDay(3, drivers);
+    day = generator.GenerateDay(3, opt.drivers);
     std::printf("generated %zu synthetic orders\n", day.orders.size());
+  }
+
+  // Optional scripted scenario on top of the base workload.
+  ScenarioScript script;
+  if (opt.scenario == "day") {
+    ScenarioDayConfig day_cfg;
+    day_cfg.two_shift_fleet = true;
+    day_cfg.cancel_probability = 0.05;
+    day_cfg.surges.push_back(RushHourSurge(7.5 * 3600.0, 9.5 * 3600.0, 1.8));
+    day_cfg.surges.push_back(RushHourSurge(17.0 * 3600.0, 19.0 * 3600.0, 2.2));
+    script = BuildScenarioDay(day, day_cfg);
+    std::printf("scenario \"day\": %zu scripted events\n", script.size());
   }
 
   // DeepST-surrogate forecast trained on 21 days of history.
@@ -96,10 +218,12 @@ int main(int argc, char** argv) {
 
   StraightLineCostModel cost(11.0, 1.3);
   SimConfig cfg;  // paper defaults: Δ=3 s, t_c=20 min
+  cfg.num_threads = opt.threads;
+  cfg.num_shards = opt.shards;
 
-  std::printf("\n%-8s %12s %10s %10s %12s %12s %10s\n", "approach",
-              "revenue", "served", "reneged", "svc-rate", "batch-ms",
-              "build-ms");
+  std::printf("\n%-8s %12s %10s %10s %8s %12s %12s %10s\n", "approach",
+              "revenue", "served", "reneged", "cancel", "svc-rate",
+              "batch-ms", "build-ms");
   std::vector<std::pair<std::string, std::unique_ptr<Dispatcher>>> approaches;
   approaches.emplace_back("RAND", MakeRandomDispatcher(1));
   approaches.emplace_back("NEAR", MakeNearestDispatcher());
@@ -111,11 +235,12 @@ int main(int argc, char** argv) {
   HourlyBreakdown hourly;
   for (auto& [name, dispatcher] : approaches) {
     Simulator sim(cfg, day, generator.grid(), cost, &forecast.value());
-    SimResult r = sim.Run(*dispatcher, name == "IRG" ? &hourly : nullptr);
-    std::printf("%-8s %12.4e %10lld %10lld %11.1f%% %12.3f %10.4f\n",
+    SimResult r =
+        sim.Run(*dispatcher, script, name == "IRG" ? &hourly : nullptr);
+    std::printf("%-8s %12.4e %10lld %10lld %8lld %11.1f%% %12.3f %10.4f\n",
                 name.c_str(), r.total_revenue, (long long)r.served_orders,
-                (long long)r.reneged_orders, 100.0 * r.ServiceRate(),
-                r.batch_seconds.mean() * 1e3,
+                (long long)r.reneged_orders, (long long)r.cancelled_orders,
+                100.0 * r.ServiceRate(), r.batch_seconds.mean() * 1e3,
                 r.batch_build_seconds.mean() * 1e3);
   }
   hourly.Print();
@@ -125,9 +250,10 @@ int main(int argc, char** argv) {
   upper_cfg.zero_pickup_travel = true;
   auto upper = MakeUpperBoundDispatcher();
   Simulator sim(upper_cfg, day, generator.grid(), cost, nullptr);
-  SimResult r = sim.Run(*upper);
-  std::printf("%-8s %12.4e %10lld %10s %11.1f%% %12.3f\n", "UPPER",
+  SimResult r = sim.Run(*upper, script);
+  std::printf("%-8s %12.4e %10lld %10s %8lld %11.1f%% %12.3f\n", "UPPER",
               r.total_revenue, (long long)r.served_orders, "-",
-              100.0 * r.ServiceRate(), r.batch_seconds.mean() * 1e3);
+              (long long)r.cancelled_orders, 100.0 * r.ServiceRate(),
+              r.batch_seconds.mean() * 1e3);
   return 0;
 }

@@ -1,0 +1,154 @@
+// A scripted operations day through the scenario event subsystem: a
+// two-shift fleet (the evening half is off duty until mid-day), a rider
+// cancellation hazard, and morning + evening demand surges — run under the
+// full dispatcher roster on the same base workload. A timeline observer
+// prints the shift changes and surge transitions as the engine applies
+// them, plus a per-hour cancellation profile for the winning approach.
+//
+// Usage:
+//   ./build/examples/scenario_day [orders_per_day] [num_drivers]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dispatch/dispatchers.h"
+#include "geo/travel.h"
+#include "prediction/forecast.h"
+#include "prediction/predictor.h"
+#include "scenario/generator.h"
+#include "sim/engine.h"
+#include "workload/generator.h"
+
+using namespace mrvd;
+
+namespace {
+
+/// Prints shift/surge transitions once (for the first run) and keeps
+/// per-hour cancellation counts.
+class TimelineObserver : public SimObserver {
+ public:
+  explicit TimelineObserver(bool narrate) : narrate_(narrate) {}
+
+  void OnDriverShiftChange(double now, DriverId driver_id,
+                           bool signed_on) override {
+    ++(signed_on ? sign_ons_ : sign_offs_);
+    if (narrate_ && (sign_ons_ + sign_offs_) % 100 == 1) {
+      std::printf("  %s driver %lld signs %s (change #%lld)\n",
+                  Clock(now).c_str(), (long long)driver_id,
+                  signed_on ? "on" : "off",
+                  (long long)(sign_ons_ + sign_offs_));
+    }
+  }
+  void OnSurgeChange(double now, const SurgeWindow& w, bool active) override {
+    if (narrate_) {
+      std::printf("  %s surge x%.1f %s\n", Clock(now).c_str(), w.multiplier,
+                  active ? "begins" : "ends");
+    }
+  }
+  void OnRiderCancelled(double now, const Order&) override {
+    ++cancelled_by_hour_[Hour(now)];
+  }
+
+  void PrintCancellationProfile() const {
+    std::printf("\nhourly cancellations (IRG):\n  hour  cancelled\n");
+    for (int h = 0; h < 24; ++h) {
+      if (cancelled_by_hour_[h] == 0) continue;
+      std::printf("  %4d %10lld\n", h, (long long)cancelled_by_hour_[h]);
+    }
+  }
+
+ private:
+  static int Hour(double now) {
+    int h = static_cast<int>(now / 3600.0);
+    return h < 0 ? 0 : (h > 23 ? 23 : h);
+  }
+  static std::string Clock(double now) {
+    int minutes = static_cast<int>(now / 60.0);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%02d:%02d", minutes / 60, minutes % 60);
+    return buf;
+  }
+
+  bool narrate_;
+  int64_t sign_ons_ = 0, sign_offs_ = 0;
+  int64_t cancelled_by_hour_[24] = {};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double orders = argc > 1 ? std::atof(argv[1]) : 30000.0;
+  int drivers = argc > 2 ? std::atoi(argv[2]) : 300;
+
+  GeneratorConfig gen_cfg;
+  gen_cfg.orders_per_day = orders;
+  NycLikeGenerator generator(gen_cfg);
+  Workload day = generator.GenerateDay(/*day_index=*/3, drivers);
+  std::printf("generated %zu orders, %d drivers\n", day.orders.size(),
+              drivers);
+
+  // The scripted day: two shifts changing at noon with a 30-minute
+  // overlap, a 6%% cancellation hazard, and two rush-hour surges.
+  ScenarioDayConfig day_cfg;
+  day_cfg.two_shift_fleet = true;
+  day_cfg.shift_change_seconds = 12 * 3600.0;
+  day_cfg.shift_overlap_seconds = 1800.0;
+  day_cfg.cancel_probability = 0.06;
+  day_cfg.surges.push_back(RushHourSurge(7.5 * 3600.0, 9.5 * 3600.0, 1.8));
+  day_cfg.surges.push_back(RushHourSurge(17.0 * 3600.0, 19.0 * 3600.0, 2.2));
+  ScenarioScript script = BuildScenarioDay(day, day_cfg);
+  std::printf("scenario: %zu events (two-shift fleet, 6%% cancellation "
+              "hazard, AM+PM surges)\n\n",
+              script.size());
+
+  // Oracle forecast from the day's realized counts, so the surge
+  // multipliers act on a live demand prediction.
+  DemandHistory realized = generator.RealizedCounts(day, 48);
+  auto oracle = MakeOraclePredictor();
+  auto forecast = DemandForecast::Build(*oracle, realized, /*eval_day=*/0);
+  if (!forecast.ok()) {
+    std::fprintf(stderr, "forecast failed: %s\n",
+                 forecast.status().ToString().c_str());
+    return 1;
+  }
+
+  StraightLineCostModel cost(11.0, 1.3);
+  SimConfig cfg;  // paper defaults: Δ=3 s, t_c=20 min
+
+  std::vector<std::pair<std::string, std::unique_ptr<Dispatcher>>> roster;
+  roster.emplace_back("RAND", MakeRandomDispatcher(1));
+  roster.emplace_back("NEAR", MakeNearestDispatcher());
+  roster.emplace_back("LTG", MakeLongTripGreedyDispatcher());
+  roster.emplace_back("POLAR", MakePolarDispatcher());
+  roster.emplace_back("IRG", MakeIrgDispatcher());
+  roster.emplace_back("LS", MakeLocalSearchDispatcher());
+  roster.emplace_back("SHORT", MakeShortDispatcher());
+  roster.emplace_back("UPPER", MakeUpperBoundDispatcher());
+
+  TimelineObserver irg_timeline(/*narrate=*/false);
+  bool first = true;
+  for (auto& [name, dispatcher] : roster) {
+    SimConfig run_cfg = cfg;
+    if (name == "UPPER") run_cfg.zero_pickup_travel = true;
+    Simulator sim(run_cfg, day, generator.grid(), cost, &forecast.value());
+    TimelineObserver narrator(/*narrate=*/first);
+    if (first) std::printf("timeline (%s run):\n", name.c_str());
+    SimObserver* obs = name == "IRG" ? static_cast<SimObserver*>(&irg_timeline)
+                                     : &narrator;
+    SimResult r = sim.Run(*dispatcher, script, obs);
+    if (first) {
+      std::printf("\n%-8s %12s %9s %9s %9s %9s %9s\n", "approach", "revenue",
+                  "served", "reneged", "cancel", "svc-rate", "shift-chg");
+    }
+    first = false;
+    std::printf("%-8s %12.4e %9lld %9lld %9lld %8.1f%% %9lld\n", name.c_str(),
+                r.total_revenue, (long long)r.served_orders,
+                (long long)r.reneged_orders, (long long)r.cancelled_orders,
+                100.0 * r.ServiceRate(),
+                (long long)(r.driver_sign_ons + r.driver_sign_offs));
+  }
+  irg_timeline.PrintCancellationProfile();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Scenario events layered over a base Workload. The paper's Algorithm 1
+// assumes a fixed fleet and a pre-materialised order stream; production
+// traffic does not: drivers work shifts, riders cancel before their
+// deadline, and demand surges mid-day. A ScenarioScript (script.h) carries
+// a time-ordered stream of these events, which Simulator::Run merges with
+// the arrival/completion timeline — every event is applied to the engine
+// stages *incrementally* (counter deltas, never rescans), so an empty
+// script leaves the engine bit-identical to the scripted-free run.
+#pragma once
+
+#include <vector>
+
+#include "geo/grid.h"
+#include "workload/types.h"
+
+namespace mrvd {
+
+/// A demand-surge interval: while active, the predicted rider demand
+/// (RegionSnapshot::predicted_riders) of the affected regions is scaled by
+/// `multiplier`, re-pricing every idle-time estimate the dispatchers see.
+/// An empty `regions` list means city-wide.
+struct SurgeWindow {
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  double multiplier = 1.0;
+  std::vector<RegionId> regions;  ///< empty = every region
+};
+
+enum class ScenarioEventType {
+  kDriverSignOn,   ///< driver (re)enters the supply at its current location
+  kDriverSignOff,  ///< driver leaves the supply (after its trip, if busy)
+  kRiderCancel,    ///< waiting rider withdraws the order (≠ deadline renege)
+  kSurgeBegin,     ///< a SurgeWindow's multiplier becomes active
+  kSurgeEnd,       ///< ... and stops being active
+};
+
+/// One timestamped scenario event. Which payload field is meaningful
+/// depends on `type`; `surge_index` addresses ScenarioScript::surges().
+struct ScenarioEvent {
+  double time = 0.0;
+  ScenarioEventType type = ScenarioEventType::kDriverSignOn;
+  DriverId driver_id = -1;  ///< kDriverSignOn / kDriverSignOff
+  OrderId order_id = -1;    ///< kRiderCancel
+  int surge_index = -1;     ///< kSurgeBegin / kSurgeEnd
+};
+
+}  // namespace mrvd

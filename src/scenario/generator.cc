@@ -1,0 +1,55 @@
+#include "scenario/generator.h"
+
+#include "util/rng.h"
+
+namespace mrvd {
+
+SurgeWindow RushHourSurge(double start_seconds, double end_seconds,
+                          double multiplier) {
+  SurgeWindow w;
+  w.start_seconds = start_seconds;
+  w.end_seconds = end_seconds;
+  w.multiplier = multiplier;
+  return w;  // regions left empty: city-wide
+}
+
+ScenarioScript BuildScenarioDay(const Workload& workload,
+                                const ScenarioDayConfig& config) {
+  ScenarioScript script;
+
+  if (config.two_shift_fleet && workload.drivers.size() >= 2) {
+    // Second half of the fleet is the evening shift: off duty from the
+    // start of the day, on duty at the shift change; the morning shift
+    // signs off once the overlap ends.
+    const size_t split = workload.drivers.size() / 2;
+    const double change = config.shift_change_seconds;
+    const double off = change + config.shift_overlap_seconds;
+    for (size_t j = 0; j < workload.drivers.size(); ++j) {
+      const DriverId id = workload.drivers[j].id;
+      if (j < split) {
+        script.SignOff(off, id);
+      } else {
+        script.SignOff(0.0, id).SignOn(change, id);
+      }
+    }
+  }
+
+  if (config.cancel_probability > 0.0) {
+    Rng rng(config.seed);
+    for (const Order& o : workload.orders) {
+      // Draw the fraction unconditionally so each order's cancellation
+      // moment is independent of every other order's coin flip.
+      const double frac =
+          rng.Uniform(config.cancel_fraction_lo, config.cancel_fraction_hi);
+      if (!rng.Bernoulli(config.cancel_probability)) continue;
+      const double patience = o.pickup_deadline - o.request_time;
+      if (patience <= 0.0) continue;
+      script.Cancel(o.request_time + frac * patience, o.id);
+    }
+  }
+
+  for (const SurgeWindow& w : config.surges) script.Surge(w);
+  return script;
+}
+
+}  // namespace mrvd

@@ -1,0 +1,62 @@
+#include "scenario/script.h"
+
+#include <algorithm>
+
+namespace mrvd {
+
+ScenarioScript& ScenarioScript::SignOn(double time, DriverId driver_id) {
+  ScenarioEvent e;
+  e.time = time;
+  e.type = ScenarioEventType::kDriverSignOn;
+  e.driver_id = driver_id;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::SignOff(double time, DriverId driver_id) {
+  ScenarioEvent e;
+  e.time = time;
+  e.type = ScenarioEventType::kDriverSignOff;
+  e.driver_id = driver_id;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::Cancel(double time, OrderId order_id) {
+  ScenarioEvent e;
+  e.time = time;
+  e.type = ScenarioEventType::kRiderCancel;
+  e.order_id = order_id;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::Surge(SurgeWindow window) {
+  if (window.end_seconds <= window.start_seconds || window.multiplier <= 0.0) {
+    return *this;
+  }
+  const int index = static_cast<int>(surges_.size());
+  ScenarioEvent begin;
+  begin.time = window.start_seconds;
+  begin.type = ScenarioEventType::kSurgeBegin;
+  begin.surge_index = index;
+  events_.push_back(begin);
+  ScenarioEvent end;
+  end.time = window.end_seconds;
+  end.type = ScenarioEventType::kSurgeEnd;
+  end.surge_index = index;
+  events_.push_back(end);
+  surges_.push_back(std::move(window));
+  return *this;
+}
+
+EventStream::EventStream(const ScenarioScript& script)
+    : events_(script.events()) {
+  std::stable_sort(
+      events_.begin(), events_.end(),
+      [](const ScenarioEvent& a, const ScenarioEvent& b) {
+        return a.time < b.time;
+      });
+}
+
+}  // namespace mrvd

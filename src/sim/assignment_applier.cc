@@ -47,7 +47,7 @@ void AssignmentApplier::Apply(double now, const BatchContext& ctx,
     e.rider_index = a.rider_index;
     e.driver_index = a.driver_index;
     e.order_id = r.order_id;
-    e.driver_id = ad.driver_id;
+    e.driver_id = d.id;
     e.driver_region = d.region;  // region the driver idled in
     e.pickup_seconds = pickup_tt;
     e.wait_seconds = now - r.request_time;

@@ -67,7 +67,8 @@ BatchBuilder::BatchBuilder(const Grid& grid, const TravelCostModel& cost_model,
       execution_(execution) {}
 
 std::unique_ptr<BatchContext> BatchBuilder::Build(
-    double now, const OrderBook& orders, const FleetState& fleet) const {
+    double now, const OrderBook& orders, const FleetState& fleet,
+    const std::vector<double>* demand_multipliers) const {
   auto ctx = std::make_unique<BatchContext>(now, window_seconds_,
                                             reneging_beta_, grid_, cost_model_,
                                             candidate_mode_);
@@ -88,7 +89,7 @@ std::unique_ptr<BatchContext> BatchBuilder::Build(
 
   MaterialiseRiders(ctx.get(), orders, index_out);
   MaterialiseDrivers(ctx.get(), fleet, index_out);
-  BuildSnapshots(ctx.get(), now, orders, fleet);
+  BuildSnapshots(ctx.get(), now, orders, fleet, demand_multipliers);
   if (index_out != nullptr) ctx->SetShardIndex(std::move(index));
   return ctx;
 }
@@ -157,7 +158,7 @@ void BatchBuilder::MaterialiseDrivers(BatchContext* ctx,
     drivers.reserve(static_cast<size_t>(fleet.available_count()));
     for (int j = 0; j < n; ++j) {
       const DriverState& d = all[static_cast<size_t>(j)];
-      if (d.busy) continue;
+      if (!d.Dispatchable()) continue;
       if (index != nullptr) {
         index->drivers[static_cast<size_t>(index->partitioner->shard_of(
                            d.region))]
@@ -179,7 +180,7 @@ void BatchBuilder::MaterialiseDrivers(BatchContext* ctx,
     auto [begin, end] = ChunkRange(n, chunks, c);
     int available = 0;
     for (int j = begin; j < end; ++j) {
-      if (!all[static_cast<size_t>(j)].busy) ++available;
+      if (all[static_cast<size_t>(j)].Dispatchable()) ++available;
     }
     counts[static_cast<size_t>(c)] = available;
   });
@@ -199,7 +200,7 @@ void BatchBuilder::MaterialiseDrivers(BatchContext* ctx,
     auto& local = partials[static_cast<size_t>(c)];
     for (int j = begin; j < end; ++j) {
       const DriverState& d = all[static_cast<size_t>(j)];
-      if (d.busy) continue;
+      if (!d.Dispatchable()) continue;
       drivers[static_cast<size_t>(slot)] = materialise(j, d);
       local[static_cast<size_t>(parts.shard_of(d.region))].push_back(slot);
       ++slot;
@@ -209,9 +210,10 @@ void BatchBuilder::MaterialiseDrivers(BatchContext* ctx,
   ctx->SetDrivers(std::move(drivers));
 }
 
-void BatchBuilder::BuildSnapshots(BatchContext* ctx, double now,
-                                  const OrderBook& orders,
-                                  const FleetState& fleet) const {
+void BatchBuilder::BuildSnapshots(
+    BatchContext* ctx, double now, const OrderBook& orders,
+    const FleetState& fleet,
+    const std::vector<double>* demand_multipliers) const {
   const int num_regions = grid_.num_regions();
   std::vector<RegionSnapshot> snaps(static_cast<size_t>(num_regions));
   const std::vector<int64_t>& demand = orders.demand_by_region();
@@ -223,6 +225,9 @@ void BatchBuilder::BuildSnapshots(BatchContext* ctx, double now,
     s.available_drivers = supply[static_cast<size_t>(k)];
     if (forecast_ != nullptr) {
       s.predicted_riders = forecast_->WindowCount(now, window_seconds_, k);
+      if (demand_multipliers != nullptr) {
+        s.predicted_riders *= (*demand_multipliers)[static_cast<size_t>(k)];
+      }
     }
     s.predicted_drivers =
         static_cast<double>(rejoining[static_cast<size_t>(k)]);

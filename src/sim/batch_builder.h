@@ -39,9 +39,13 @@ class BatchBuilder {
 
   /// Builds the batch at time `now`. Context rider index i is waiting()
   /// index i (every waiting rider is materialised, in order); context
-  /// driver entries carry their FleetState index as driver_id.
-  std::unique_ptr<BatchContext> Build(double now, const OrderBook& orders,
-                                      const FleetState& fleet) const;
+  /// driver entries carry their FleetState index as driver_id. Signed-off
+  /// (scenario shift) drivers are never materialised. `demand_multipliers`
+  /// (may be null = all 1.0) scales each region's predicted rider demand —
+  /// the engine passes the active surge windows' per-region product.
+  std::unique_ptr<BatchContext> Build(
+      double now, const OrderBook& orders, const FleetState& fleet,
+      const std::vector<double>* demand_multipliers = nullptr) const;
 
  private:
   void MaterialiseRiders(BatchContext* ctx, const OrderBook& orders,
@@ -49,7 +53,8 @@ class BatchBuilder {
   void MaterialiseDrivers(BatchContext* ctx, const FleetState& fleet,
                           BatchContext::ShardIndex* index) const;
   void BuildSnapshots(BatchContext* ctx, double now, const OrderBook& orders,
-                      const FleetState& fleet) const;
+                      const FleetState& fleet,
+                      const std::vector<double>* demand_multipliers) const;
 
   const Grid& grid_;
   const TravelCostModel& cost_model_;

@@ -1,6 +1,9 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "geo/region_partitioner.h"
 #include "sim/assignment_applier.h"
@@ -12,6 +15,114 @@
 
 namespace mrvd {
 
+namespace {
+
+/// Mutable scenario state of one run: the event cursor plus the active
+/// surge windows' per-region demand-multiplier product. Everything here is
+/// dormant (and allocation-free) when the script is null or empty, which
+/// keeps the unscripted path bit-identical.
+class ScenarioState {
+ public:
+  ScenarioState(const ScenarioScript* script, const Workload& workload,
+                const Grid& grid)
+      : script_(script), grid_(grid) {
+    if (script_ == nullptr || script_->empty()) return;
+    events_ = EventStream(*script_);
+    surge_active_.assign(script_->surges().size(), false);
+    driver_index_.reserve(workload.drivers.size());
+    for (size_t j = 0; j < workload.drivers.size(); ++j) {
+      driver_index_.emplace(workload.drivers[j].id, static_cast<int>(j));
+    }
+  }
+
+  bool Exhausted() const { return events_.Exhausted(); }
+
+  /// Applies every event due at `now` to the stages, firing observer hooks
+  /// for the ones that changed state. Cancellations are batched into one
+  /// stable OrderBook pass.
+  void ApplyDueEvents(double now, FleetState* fleet, OrderBook* orders,
+                      SimObserver* observers) {
+    while (const ScenarioEvent* e = events_.PeekDue(now)) {
+      switch (e->type) {
+        case ScenarioEventType::kDriverSignOn:
+        case ScenarioEventType::kDriverSignOff: {
+          const bool on = e->type == ScenarioEventType::kDriverSignOn;
+          auto it = driver_index_.find(e->driver_id);
+          if (it != driver_index_.end() &&
+              (on ? fleet->SignOn(it->second, now)
+                  : fleet->SignOff(it->second))) {
+            observers->OnDriverShiftChange(now, e->driver_id, on);
+          }
+          break;
+        }
+        case ScenarioEventType::kRiderCancel:
+          due_cancels_.push_back(e->order_id);
+          break;
+        case ScenarioEventType::kSurgeBegin:
+        case ScenarioEventType::kSurgeEnd: {
+          const bool begin = e->type == ScenarioEventType::kSurgeBegin;
+          auto& active = surge_active_[static_cast<size_t>(e->surge_index)];
+          if (active != static_cast<char>(begin)) {
+            active = static_cast<char>(begin);
+            RecomputeMultipliers();
+            observers->OnSurgeChange(
+                now, script_->surges()[static_cast<size_t>(e->surge_index)],
+                begin);
+          }
+          break;
+        }
+      }
+      events_.Pop();
+    }
+    if (!due_cancels_.empty()) {
+      orders->CancelRiders(due_cancels_, now, observers);
+      due_cancels_.clear();
+    }
+  }
+
+  /// Per-region predicted-demand multipliers, or null when no surge is
+  /// active (the dormant fast path).
+  const std::vector<double>* demand_multipliers() const {
+    return demand_multipliers_.empty() ? nullptr : &demand_multipliers_;
+  }
+
+ private:
+  void RecomputeMultipliers() {
+    // With no active surge the vector empties, restoring the dormant
+    // (null-multiplier) build path for the rest of the run.
+    if (std::find(surge_active_.begin(), surge_active_.end(),
+                  static_cast<char>(true)) == surge_active_.end()) {
+      demand_multipliers_.clear();
+      return;
+    }
+    demand_multipliers_.assign(static_cast<size_t>(grid_.num_regions()),
+                               1.0);
+    for (size_t s = 0; s < surge_active_.size(); ++s) {
+      if (!surge_active_[s]) continue;
+      const SurgeWindow& w = script_->surges()[s];
+      if (w.regions.empty()) {
+        for (double& m : demand_multipliers_) m *= w.multiplier;
+      } else {
+        for (RegionId k : w.regions) {
+          if (k >= 0 && k < grid_.num_regions()) {
+            demand_multipliers_[static_cast<size_t>(k)] *= w.multiplier;
+          }
+        }
+      }
+    }
+  }
+
+  const ScenarioScript* script_;
+  const Grid& grid_;
+  EventStream events_;
+  std::vector<char> surge_active_;  ///< by ScenarioScript surge index
+  std::vector<double> demand_multipliers_;  ///< empty unless a surge is active
+  std::unordered_map<DriverId, int> driver_index_;  ///< id -> fleet index
+  std::vector<OrderId> due_cancels_;  ///< reused per-batch buffer
+};
+
+}  // namespace
+
 Simulator::Simulator(const SimConfig& config, const Workload& workload,
                      const Grid& grid, const TravelCostModel& cost_model,
                      const DemandForecast* forecast)
@@ -22,6 +133,17 @@ Simulator::Simulator(const SimConfig& config, const Workload& workload,
       forecast_(forecast) {}
 
 SimResult Simulator::Run(Dispatcher& dispatcher, SimObserver* extra) {
+  return RunImpl(dispatcher, nullptr, extra);
+}
+
+SimResult Simulator::Run(Dispatcher& dispatcher, const ScenarioScript& script,
+                         SimObserver* extra) {
+  return RunImpl(dispatcher, &script, extra);
+}
+
+SimResult Simulator::RunImpl(Dispatcher& dispatcher,
+                             const ScenarioScript* script,
+                             SimObserver* extra) {
   MetricsCollector metrics(dispatcher.name(),
                            static_cast<int64_t>(workload_.orders.size()),
                            grid_.num_regions(), config_.record_idle_samples);
@@ -31,6 +153,7 @@ SimResult Simulator::Run(Dispatcher& dispatcher, SimObserver* extra) {
 
   FleetState fleet(workload_, grid_);
   OrderBook orders(workload_, grid_, cost_model_, config_.alpha);
+  ScenarioState scenario(script, workload_, grid_);
 
   // Parallel dispatch plumbing, created once and reused by every batch.
   int threads = config_.num_threads == 0 ? ThreadPool::HardwareThreads()
@@ -58,20 +181,26 @@ SimResult Simulator::Run(Dispatcher& dispatcher, SimObserver* extra) {
     // 1. Busy drivers finishing by `now` rejoin at their destination.
     fleet.ReleaseFinished(now);
 
-    // 2. Riders that posted since the last batch enter the book; expired
-    //    riders renege.
+    // 2. Riders that posted since the last batch enter the book; scenario
+    //    events due by `now` apply (shifts, cancels, surge transitions);
+    //    expired riders renege. Cancellation is processed before reneging,
+    //    so a rider whose cancel and deadline land in the same batch counts
+    //    as cancelled, not reneged.
     orders.InjectArrivals(now);
+    scenario.ApplyDueEvents(now, &fleet, &orders, &observers);
     orders.RemoveExpired(now, &observers);
 
     if (orders.waiting().empty() && !fleet.HasFreshDrivers() &&
-        !fleet.HasBusyDrivers() && orders.Exhausted()) {
+        !fleet.HasBusyDrivers() && orders.Exhausted() &&
+        scenario.Exhausted()) {
       break;  // nothing left to do
     }
 
     // 3. Build the batch context off the incremental counters.
     fleet.AdvanceRejoinWindow(now, config_.window_seconds);
     Stopwatch build_watch;
-    std::unique_ptr<BatchContext> ctx = builder.Build(now, orders, fleet);
+    std::unique_ptr<BatchContext> ctx =
+        builder.Build(now, orders, fleet, scenario.demand_multipliers());
     observers.OnBatchBuilt(now, build_watch.ElapsedSeconds(), *ctx);
 
     // 4. Capture idle-time estimates for freshly (re)joined drivers.

@@ -19,6 +19,7 @@
 #include "geo/grid.h"
 #include "geo/travel.h"
 #include "prediction/forecast.h"
+#include "scenario/script.h"
 #include "sim/batch.h"
 #include "sim/metrics.h"
 #include "sim/observer.h"
@@ -68,11 +69,22 @@ class Simulator {
   /// Runs the full horizon with `dispatcher` and returns the aggregates.
   /// Can be called repeatedly (state resets each time). `observer` (may be
   /// null) receives every engine event alongside the built-in metrics
-  /// collection — the hook points for custom studies and future streaming
-  /// workload scenarios (driver shifts, cancellations, mid-day surges).
+  /// collection — per-hour breakdowns, traces, custom studies.
   SimResult Run(Dispatcher& dispatcher, SimObserver* observer = nullptr);
 
+  /// Scenario-scripted run: `script`'s time-ordered event stream (driver
+  /// shifts, rider cancellations, surge windows) is merged with the
+  /// arrival/completion timeline — due events are applied to the stages
+  /// incrementally at the top of each batch. An empty script makes this
+  /// bit-identical to the overload above (enforced by
+  /// tests/engine_equivalence_test.cc).
+  SimResult Run(Dispatcher& dispatcher, const ScenarioScript& script,
+                SimObserver* observer = nullptr);
+
  private:
+  SimResult RunImpl(Dispatcher& dispatcher, const ScenarioScript* script,
+                    SimObserver* observer);
+
   const SimConfig config_;
   const Workload& workload_;
   const Grid& grid_;

@@ -9,6 +9,7 @@ FleetState::FleetState(const Workload& workload, const Grid& grid) {
   fresh_drivers_.reserve(drivers_.size());
   for (size_t j = 0; j < drivers_.size(); ++j) {
     DriverState& d = drivers_[j];
+    d.id = workload.drivers[j].id;
     d.location = workload.drivers[j].origin;
     d.region = grid.RegionOf(d.location);
     d.available_since = workload.drivers[j].join_time;
@@ -33,6 +34,13 @@ void FleetState::ReleaseFinished(double now) {
     d.location = d.busy_dest;
     d.region = d.busy_dest_region;
     d.available_since = d.busy_until;
+    if (d.sign_off_pending) {
+      // The driver worked the trip out and now leaves the platform: never
+      // re-enters the supply counters or the fresh-driver queue.
+      d.sign_off_pending = false;
+      d.signed_off = true;
+      continue;
+    }
     ++available_by_region_[static_cast<size_t>(d.region)];
     ++available_count_;
     fresh_drivers_.push_back(j);
@@ -49,10 +57,52 @@ void FleetState::AdvanceRejoinWindow(double now, double window_seconds) {
     // engine's strict `now < busy_until <= now + t_c` recount condition.
     if (completes_at > now) {
       DriverState& d = drivers_[static_cast<size_t>(j)];
-      ++rejoining_in_window_[static_cast<size_t>(d.busy_dest_region)];
-      d.counted_in_window = true;
+      // Guards for scenario churn: a sign-off/sign-on cycle can leave a
+      // stale or duplicate heap entry behind, and a pending sign-off must
+      // not count toward predicted supply (the driver will not rejoin).
+      if (d.busy && d.busy_until == completes_at && !d.counted_in_window &&
+          !d.sign_off_pending) {
+        ++rejoining_in_window_[static_cast<size_t>(d.busy_dest_region)];
+        d.counted_in_window = true;
+      }
     }
   }
+}
+
+bool FleetState::SignOff(int j) {
+  DriverState& d = drivers_[static_cast<size_t>(j)];
+  if (d.signed_off || d.sign_off_pending) return false;
+  if (d.busy) {
+    d.sign_off_pending = true;
+    if (d.counted_in_window) {
+      --rejoining_in_window_[static_cast<size_t>(d.busy_dest_region)];
+      d.counted_in_window = false;
+    }
+  } else {
+    d.signed_off = true;
+    --available_by_region_[static_cast<size_t>(d.region)];
+    --available_count_;
+  }
+  return true;
+}
+
+bool FleetState::SignOn(int j, double now) {
+  DriverState& d = drivers_[static_cast<size_t>(j)];
+  if (d.sign_off_pending) {
+    // Mid-trip reversal: stay on duty. The completion event re-enters the
+    // window schedule; AdvanceRejoinWindow's guards absorb the duplicate
+    // heap entry if the original is still queued.
+    d.sign_off_pending = false;
+    window_heap_.push({d.busy_until, j});
+    return true;
+  }
+  if (!d.signed_off) return false;
+  d.signed_off = false;
+  d.available_since = now;
+  ++available_by_region_[static_cast<size_t>(d.region)];
+  ++available_count_;
+  fresh_drivers_.push_back(j);
+  return true;
 }
 
 void FleetState::MarkBusy(int j, double busy_until, const LatLon& dest,
@@ -72,7 +122,7 @@ void FleetState::CaptureIdleEstimates(const BatchContext* ctx) {
   if (ctx != nullptr) {
     for (int j : fresh_drivers_) {
       DriverState& d = drivers_[static_cast<size_t>(j)];
-      if (d.busy) continue;
+      if (!d.Dispatchable()) continue;
       d.pending_estimate = ctx->ExpectedIdleSeconds(d.region);
     }
   }

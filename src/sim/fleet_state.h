@@ -26,6 +26,7 @@ namespace mrvd {
 
 /// Mutable state of one driver across the day.
 struct DriverState {
+  DriverId id = -1;  ///< workload DriverSpec::id (scenario scripts' space)
   LatLon location;
   RegionId region = kInvalidRegion;
   double available_since = 0.0;
@@ -37,6 +38,14 @@ struct DriverState {
   double pending_estimate = -1.0;  ///< < 0: none
   /// True while this driver's completion is counted in rejoining_in_window_.
   bool counted_in_window = false;
+  /// Off duty (scenario shift change): out of every supply counter and
+  /// never materialised into a batch. Mutually exclusive with `busy`.
+  bool signed_off = false;
+  /// Busy driver that will sign off when the current trip completes.
+  bool sign_off_pending = false;
+
+  /// True if the driver can receive assignments in the next batch.
+  bool Dispatchable() const { return !busy && !signed_off; }
 };
 
 class FleetState {
@@ -64,6 +73,21 @@ class FleetState {
   /// completion event is scheduled into the rejoin window.
   void MarkBusy(int j, double busy_until, const LatLon& dest,
                 RegionId dest_region);
+
+  /// Scenario shift change: the driver leaves the supply. An idle driver
+  /// leaves the available counters immediately; a busy driver finishes the
+  /// current trip first (sign-off pending) and its completion event leaves
+  /// the rejoin-window schedule at once — the region's predicted supply
+  /// must not count a driver that will not rejoin. Returns false (no-op)
+  /// if the driver is already off duty or pending sign-off.
+  bool SignOff(int j);
+
+  /// Scenario shift change: the driver re-enters the supply at its current
+  /// location, incrementally (counter deltas plus the fresh-driver queue —
+  /// never a rescan). Cancels a pending sign-off (the driver simply stays
+  /// on duty and rejoins normally). Returns false if the driver is already
+  /// on duty.
+  bool SignOn(int j, double now);
 
   /// Captures ET estimates for drivers that (re)joined since the last call
   /// (skipped when `ctx` is null, but the fresh list is always consumed).

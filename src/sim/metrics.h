@@ -34,6 +34,15 @@ struct SimResult {
   int64_t reneged_orders = 0;
   int64_t total_orders = 0;
 
+  // Scenario events (driver shifts, cancellations, surges). All zero when
+  // the run had no (or an empty) ScenarioScript. Explicit cancellations
+  // are NOT counted as reneges: served + reneged + cancelled = total for a
+  // run-to-exhaustion day.
+  int64_t cancelled_orders = 0;
+  int64_t driver_sign_ons = 0;
+  int64_t driver_sign_offs = 0;
+  int64_t surge_changes = 0;  ///< surge-window begin/end transitions
+
   // Batch processing (Figures 7b-10b).
   int64_t num_batches = 0;
   RunningStats batch_seconds;        ///< dispatcher time per batch

@@ -44,6 +44,27 @@ void MetricsCollector::OnRiderReneged(double /*now*/, const Order& /*order*/) {
   ++result_.reneged_orders;
 }
 
+void MetricsCollector::OnDriverShiftChange(double /*now*/,
+                                           DriverId /*driver_id*/,
+                                           bool signed_on) {
+  if (signed_on) {
+    ++result_.driver_sign_ons;
+  } else {
+    ++result_.driver_sign_offs;
+  }
+}
+
+void MetricsCollector::OnRiderCancelled(double /*now*/,
+                                        const Order& /*order*/) {
+  ++result_.cancelled_orders;
+}
+
+void MetricsCollector::OnSurgeChange(double /*now*/,
+                                     const SurgeWindow& /*window*/,
+                                     bool /*active*/) {
+  ++result_.surge_changes;
+}
+
 void MetricsCollector::OnRunEnd(double /*end_time*/,
                                 int64_t never_dispatched) {
   result_.reneged_orders += never_dispatched;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "geo/grid.h"
+#include "scenario/events.h"
 #include "sim/metrics.h"
 #include "workload/types.h"
 
@@ -26,6 +27,8 @@ struct AssignmentEvent {
   int rider_index = -1;
   int driver_index = -1;
   OrderId order_id = -1;
+  /// Workload DriverSpec::id — the same id space OnDriverShiftChange and
+  /// ScenarioScript sign-on/sign-off events use (NOT the context index).
   DriverId driver_id = -1;
   RegionId driver_region = kInvalidRegion;  ///< region the driver idled in
   double pickup_seconds = 0.0;   ///< travel to the pickup (0 in UPPER mode)
@@ -73,6 +76,28 @@ class SimObserver {
     (void)now, (void)order;
   }
 
+  /// A scenario shift change took effect: `signed_on` = true means the
+  /// driver (re)entered the supply, false that it left (a busy driver
+  /// leaves once its current trip completes; the hook fires when the
+  /// sign-off is scheduled). Fires only for events that changed state —
+  /// redundant script entries (double sign-off etc.) are silent.
+  virtual void OnDriverShiftChange(double now, DriverId driver_id,
+                                   bool signed_on) {
+    (void)now, (void)driver_id, (void)signed_on;
+  }
+
+  /// A waiting rider explicitly cancelled (scenario event) — counted
+  /// separately from deadline reneging.
+  virtual void OnRiderCancelled(double now, const Order& order) {
+    (void)now, (void)order;
+  }
+
+  /// A surge window began (`active` = true) or ended (false).
+  virtual void OnSurgeChange(double now, const SurgeWindow& window,
+                             bool active) {
+    (void)now, (void)window, (void)active;
+  }
+
   /// All assignments of the batch are applied and served riders compacted.
   virtual void OnBatchEnd(double now) { (void)now; }
 
@@ -106,6 +131,19 @@ class ObserverList final : public SimObserver {
   void OnRiderReneged(double now, const Order& order) override {
     for (SimObserver* o : observers_) o->OnRiderReneged(now, order);
   }
+  void OnDriverShiftChange(double now, DriverId driver_id,
+                           bool signed_on) override {
+    for (SimObserver* o : observers_) {
+      o->OnDriverShiftChange(now, driver_id, signed_on);
+    }
+  }
+  void OnRiderCancelled(double now, const Order& order) override {
+    for (SimObserver* o : observers_) o->OnRiderCancelled(now, order);
+  }
+  void OnSurgeChange(double now, const SurgeWindow& window,
+                     bool active) override {
+    for (SimObserver* o : observers_) o->OnSurgeChange(now, window, active);
+  }
   void OnBatchEnd(double now) override {
     for (SimObserver* o : observers_) o->OnBatchEnd(now);
   }
@@ -132,6 +170,11 @@ class MetricsCollector final : public SimObserver {
                       const std::vector<Assignment>& assignments) override;
   void OnAssignmentApplied(double now, const AssignmentEvent& e) override;
   void OnRiderReneged(double now, const Order& order) override;
+  void OnDriverShiftChange(double now, DriverId driver_id,
+                           bool signed_on) override;
+  void OnRiderCancelled(double now, const Order& order) override;
+  void OnSurgeChange(double now, const SurgeWindow& window,
+                     bool active) override;
   void OnRunEnd(double end_time, int64_t never_dispatched) override;
 
   /// Moves the finished result out (the collector is spent afterwards).

@@ -1,6 +1,7 @@
 #include "sim/order_book.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace mrvd {
 
@@ -35,6 +36,21 @@ void OrderBook::RemoveExpired(double now, SimObserver* observer) {
     }
     return false;
   });
+}
+
+int64_t OrderBook::CancelRiders(const std::vector<OrderId>& order_ids,
+                                double now, SimObserver* observer) {
+  if (order_ids.empty()) return 0;
+  const std::unordered_set<OrderId> ids(order_ids.begin(), order_ids.end());
+  int64_t cancelled = 0;
+  std::erase_if(waiting_, [&](const PendingRider& pr) {
+    if (pr.served || !ids.contains(pr.order->id)) return false;
+    --demand_by_region_[static_cast<size_t>(pr.pickup_region)];
+    ++cancelled;
+    if (observer != nullptr) observer->OnRiderCancelled(now, *pr.order);
+    return true;
+  });
+  return cancelled;
 }
 
 void OrderBook::MarkServed(int waiting_index) {

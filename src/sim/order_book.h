@@ -46,6 +46,15 @@ class OrderBook {
   /// (may be null) per renege in pool order.
   void RemoveExpired(double now, SimObserver* observer);
 
+  /// Scenario cancellation, explicitly distinct from deadline reneging:
+  /// removes every waiting rider whose order id is in `order_ids` in one
+  /// stable pass, notifying `observer` (may be null) per cancel in pool
+  /// order via OnRiderCancelled. Ids that match no waiting rider (already
+  /// served, already reneged, or not yet injected) are silently skipped.
+  /// Returns the number of riders actually cancelled.
+  int64_t CancelRiders(const std::vector<OrderId>& order_ids, double now,
+                       SimObserver* observer);
+
   /// Flags the rider at `waiting_index` as served and updates the demand
   /// counter; the rider stays in place until CompactServed().
   void MarkServed(int waiting_index);

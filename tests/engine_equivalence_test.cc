@@ -18,6 +18,7 @@
 #include "geo/travel.h"
 #include "prediction/forecast.h"
 #include "prediction/predictor.h"
+#include "scenario/script.h"
 #include "sim/batch.h"
 #include "sim/engine.h"
 #include "util/stopwatch.h"
@@ -344,6 +345,22 @@ class EngineEquivalenceTest : public ::testing::Test {
           want, got, name + " @" + std::to_string(threads) + " threads");
       // The staged engine additionally times its batch construction.
       EXPECT_EQ(got.batch_build_seconds.count(), got.num_batches) << name;
+
+      // An *empty* ScenarioScript must leave the scripted engine path —
+      // event merge, surge multipliers, sign-on/off lifecycle — completely
+      // dormant: every aggregate stays bit-identical to the monolith.
+      ScenarioScript empty_script;
+      auto scripted_dispatcher = MakeDispatcherByName(name, /*seed=*/5);
+      Simulator scripted(cfg, workload_, gen_->grid(), cost_, forecast);
+      SimResult got_scripted =
+          scripted.Run(*scripted_dispatcher, empty_script);
+      ExpectBitIdentical(want, got_scripted,
+                         name + " empty-script @" + std::to_string(threads) +
+                             " threads");
+      EXPECT_EQ(got_scripted.cancelled_orders, 0) << name;
+      EXPECT_EQ(got_scripted.driver_sign_ons, 0) << name;
+      EXPECT_EQ(got_scripted.driver_sign_offs, 0) << name;
+      EXPECT_EQ(got_scripted.surge_changes, 0) << name;
     }
   }
 

@@ -47,7 +47,9 @@ class FleetStateTest : public ::testing::Test {
   }
 
   /// Brute-force recount of both supply counters, exactly as the
-  /// monolithic engine recomputed them per batch.
+  /// monolithic engine recomputed them per batch — extended with the
+  /// scenario shift semantics: signed-off drivers are out of the supply,
+  /// and a pending sign-off will not rejoin its dropoff region.
   void ExpectCountersMatchRecount(const FleetState& fleet, double now,
                                   double window) {
     std::vector<int64_t> available(static_cast<size_t>(grid_.num_regions()),
@@ -56,10 +58,12 @@ class FleetStateTest : public ::testing::Test {
                                    0);
     int64_t available_total = 0;
     for (const DriverState& d : fleet.drivers()) {
+      if (d.signed_off) continue;
       if (!d.busy) {
         ++available[static_cast<size_t>(d.region)];
         ++available_total;
-      } else if (d.busy_until > now && d.busy_until <= now + window) {
+      } else if (!d.sign_off_pending && d.busy_until > now &&
+                 d.busy_until <= now + window) {
         ++rejoining[static_cast<size_t>(d.busy_dest_region)];
       }
     }
@@ -108,6 +112,70 @@ TEST_F(FleetStateTest, IncrementalCountersMatchRecountAcrossLifecycle) {
   // Everything completed: the fleet is fully available again.
   EXPECT_EQ(fleet.available_count(), 10);
   EXPECT_FALSE(fleet.HasBusyDrivers());
+}
+
+TEST_F(FleetStateTest, SignOnSignOffLifecycleKeepsIncrementalCounters) {
+  const double window = 600.0;
+  FleetState fleet(workload_, grid_);
+  fleet.AdvanceRejoinWindow(0.0, window);
+  ExpectCountersMatchRecount(fleet, 0.0, window);
+
+  // Idle sign-off leaves the supply immediately; a second sign-off and a
+  // sign-on of an on-duty driver are no-ops.
+  EXPECT_TRUE(fleet.SignOff(1));
+  EXPECT_FALSE(fleet.SignOff(1));
+  EXPECT_FALSE(fleet.SignOn(4, 0.0));
+  EXPECT_TRUE(fleet.driver(1).signed_off);
+  EXPECT_EQ(fleet.available_count(), 9);
+  ExpectCountersMatchRecount(fleet, 0.0, window);
+
+  // Busy sign-off: driver 3 departs on a trip ending inside the rejoin
+  // window, so it is counted as predicted supply — until the sign-off
+  // removes it (the driver will not rejoin).
+  LatLon dest = PointAt(0.8, 0.2);
+  fleet.MarkBusy(3, /*busy_until=*/300.0, dest, grid_.RegionOf(dest));
+  fleet.AdvanceRejoinWindow(30.0, window);
+  EXPECT_EQ(
+      fleet.rejoining_in_window()[static_cast<size_t>(grid_.RegionOf(dest))],
+      1);
+  EXPECT_TRUE(fleet.SignOff(3));
+  EXPECT_TRUE(fleet.driver(3).sign_off_pending);
+  ExpectCountersMatchRecount(fleet, 30.0, window);
+
+  // The trip completes: the driver leaves instead of rejoining.
+  fleet.ReleaseFinished(330.0);
+  fleet.AdvanceRejoinWindow(330.0, window);
+  EXPECT_TRUE(fleet.driver(3).signed_off);
+  EXPECT_FALSE(fleet.driver(3).busy);
+  EXPECT_EQ(fleet.available_count(), 8);
+  ExpectCountersMatchRecount(fleet, 330.0, window);
+
+  // Sign-ons re-enter incrementally at the driver's current location and
+  // queue a fresh idle-time estimate; driver 3 rejoins where it dropped
+  // off.
+  fleet.CaptureIdleEstimates(nullptr);
+  EXPECT_TRUE(fleet.SignOn(1, 400.0));
+  EXPECT_TRUE(fleet.SignOn(3, 420.0));
+  EXPECT_EQ(fleet.driver(3).region, grid_.RegionOf(dest));
+  EXPECT_EQ(fleet.driver(3).available_since, 420.0);
+  EXPECT_EQ(fleet.available_count(), 10);
+  EXPECT_TRUE(fleet.HasFreshDrivers());
+  ExpectCountersMatchRecount(fleet, 420.0, window);
+
+  // Mid-trip reversal: sign-off pending, then sign-on before completion —
+  // the driver stays on duty, re-enters the window schedule, and rejoins
+  // normally, without double-counting the duplicate heap entry.
+  fleet.MarkBusy(6, /*busy_until=*/700.0, dest, grid_.RegionOf(dest));
+  EXPECT_TRUE(fleet.SignOff(6));
+  EXPECT_TRUE(fleet.SignOn(6, 450.0));
+  for (double now = 450.0; now <= 900.0; now += 30.0) {
+    fleet.ReleaseFinished(now);
+    fleet.AdvanceRejoinWindow(now, window);
+    ExpectCountersMatchRecount(fleet, now, window);
+  }
+  EXPECT_FALSE(fleet.driver(6).busy);
+  EXPECT_FALSE(fleet.driver(6).signed_off);
+  EXPECT_EQ(fleet.available_count(), 10);
 }
 
 TEST_F(FleetStateTest, ReleaseQueuesFreshDriversForEstimateCapture) {
@@ -204,6 +272,74 @@ TEST_F(OrderBookTest, InjectRenegeServeCompactKeepsCountsAndOrder) {
   EXPECT_EQ(left, (std::vector<OrderId>{2, 4, 5}));
   ExpectDemandMatchesRecount(book);
   EXPECT_EQ(book.UnservedRemainder(), 3);
+}
+
+TEST_F(OrderBookTest, CompactionWhenEveryWaitingRiderServedInOneBatch) {
+  OrderBook book(workload_, grid_, cost_, /*alpha=*/1.0);
+  book.InjectArrivals(52.0);  // all six orders
+  ASSERT_EQ(book.waiting().size(), 6u);
+  ExpectDemandMatchesRecount(book);
+
+  // A dispatcher clears the whole pool in a single batch.
+  for (int i = 0; i < 6; ++i) book.MarkServed(i);
+  ExpectDemandMatchesRecount(book);  // demand zeroed before compaction
+  for (int k = 0; k < grid_.num_regions(); ++k) {
+    EXPECT_EQ(book.demand_by_region()[static_cast<size_t>(k)], 0) << k;
+  }
+  book.CompactServed();
+  EXPECT_TRUE(book.waiting().empty());
+  ExpectDemandMatchesRecount(book);
+  EXPECT_EQ(book.UnservedRemainder(), 0);
+  EXPECT_TRUE(book.Exhausted());
+}
+
+TEST_F(OrderBookTest, ServeAndRenegeDistinctRidersInTheSameBatch) {
+  OrderBook book(workload_, grid_, cost_, /*alpha=*/1.0);
+  book.InjectArrivals(60.0);  // all six orders
+  ASSERT_EQ(book.waiting().size(), 6u);
+
+  // One batch at now = 60: orders 1 (deadline 25) and 4 (deadline 55)
+  // renege, then distinct riders 0 and 5 are served.
+  RenegeCounter reneges;
+  book.RemoveExpired(60.0, &reneges);
+  EXPECT_EQ(reneges.reneged_ids, (std::vector<OrderId>{1, 4}));
+  ASSERT_EQ(book.waiting().size(), 4u);  // orders 0, 2, 3, 5
+  ExpectDemandMatchesRecount(book);
+
+  book.MarkServed(0);  // order 0
+  book.MarkServed(3);  // order 5
+  ExpectDemandMatchesRecount(book);
+  book.CompactServed();
+  ASSERT_EQ(book.waiting().size(), 2u);
+  std::vector<OrderId> left;
+  for (const PendingRider& pr : book.waiting()) left.push_back(pr.order->id);
+  EXPECT_EQ(left, (std::vector<OrderId>{2, 3}));
+  ExpectDemandMatchesRecount(book);
+  EXPECT_EQ(book.UnservedRemainder(), 2);
+}
+
+TEST_F(OrderBookTest, CancelledRidersLeaveDemandAndSkipServedAndUnknown) {
+  OrderBook book(workload_, grid_, cost_, /*alpha=*/1.0);
+  book.InjectArrivals(60.0);
+  ASSERT_EQ(book.waiting().size(), 6u);
+
+  // Serve order 0, then cancel {0, 2, 5, 99}: the served rider and the
+  // unknown id are skipped; 2 and 5 cancel, in pool order.
+  book.MarkServed(0);
+  class CancelRecorder : public SimObserver {
+   public:
+    void OnRiderCancelled(double /*now*/, const Order& order) override {
+      ids.push_back(order.id);
+    }
+    std::vector<OrderId> ids;
+  } cancels;
+  int64_t n = book.CancelRiders({0, 2, 5, 99}, 60.0, &cancels);
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(cancels.ids, (std::vector<OrderId>{2, 5}));
+  ExpectDemandMatchesRecount(book);
+  book.CompactServed();
+  ASSERT_EQ(book.waiting().size(), 3u);  // orders 1, 3, 4
+  ExpectDemandMatchesRecount(book);
 }
 
 // ----------------------------------------------------------- BatchBuilder
