@@ -14,6 +14,11 @@
 // (assignments per batch, SimResult aggregates per run), so the bench
 // doubles as a large-scale equivalence harness.
 //
+// The engine phase and the replication sweep run through the experiment
+// API (SimulationBuilder + ExperimentRunner), so the bench doubles as an
+// at-scale exercise of that layer; the "experiment_runner" series times an
+// N-replication sweep at runner threads {1, 4} against serial.
+//
 // Scale knobs (env):
 //   MRVD_BENCH_RIDERS         riders in the batch        (default 1200)
 //   MRVD_BENCH_DRIVERS        drivers in the batch       (default 900)
@@ -22,6 +27,7 @@
 //   MRVD_BENCH_ENGINE_ORDERS  engine-phase orders/day    (default 20000)
 //   MRVD_BENCH_ENGINE_DRIVERS engine-phase fleet size    (default 150)
 //   MRVD_BENCH_ENGINE_HOURS   engine-phase horizon hours (default 2)
+//   MRVD_BENCH_SWEEP_REPS     replication-sweep size     (default 6)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -30,11 +36,13 @@
 #include <string>
 #include <vector>
 
+#include "api/api.h"
 #include "dispatch/dispatchers.h"
 #include "geo/region_partitioner.h"
 #include "geo/travel.h"
 #include "sim/batch.h"
 #include "sim/engine.h"
+#include "util/json_writer.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -214,8 +222,10 @@ int Main() {
   }
 
   // ---- Engine phase: batch construction vs. dispatch through the staged
-  // engine on a synthetic day-slice. Construction time covers the
-  // incremental snapshot assembly plus the (shard-parallel) rider/driver
+  // engine on a synthetic day-slice, expressed as an ExperimentRunner sweep
+  // (one RunSpec per dispatcher × thread count, runner itself serial so the
+  // per-batch timings stay clean). Construction time covers the incremental
+  // snapshot assembly plus the (shard-parallel) rider/driver
   // materialisation and shard-index build; dispatch time is the
   // dispatcher's Dispatch() call. Sharded runs must reproduce the serial
   // SimResult bit-for-bit.
@@ -230,38 +240,69 @@ int Main() {
   Workload day = generator.GenerateDay(/*day_index=*/1, engine_drivers);
   StraightLineCostModel engine_cost(7.0, 1.3);
 
+  SimConfig engine_cfg;
+  engine_cfg.horizon_seconds = engine_hours * 3600.0;
+  engine_cfg.batch_interval = 5.0;
+  StatusOr<Simulation> engine_sim = SimulationBuilder()
+                                        .BorrowWorkload(day, generator.grid())
+                                        .WithTravelModel(engine_cost)
+                                        .WithConfig(engine_cfg)
+                                        .Build();
+  if (!engine_sim.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n",
+                 engine_sim.status().ToString().c_str());
+    return 1;
+  }
+
   std::printf(
       "\nengine phase: %zu orders, %d drivers, %dh horizon, delta=5s\n",
       day.orders.size(), engine_drivers, engine_hours);
   std::printf("%-10s %8s %12s %12s %12s %10s\n", "dispatcher", "threads",
               "build-ms", "dispatch-ms", "batches", "identical");
 
-  std::vector<EngineRecord> engine_records;
-  for (const char* name : {"IRG", "SHORT"}) {
-    SimResult serial_result;
+  const std::vector<std::string> engine_names{"IRG", "SHORT"};
+  std::vector<RunSpec> engine_specs;
+  for (const std::string& name : engine_names) {
     for (int threads : thread_counts) {
-      SimConfig cfg;
-      cfg.horizon_seconds = engine_hours * 3600.0;
-      cfg.batch_interval = 5.0;
+      RunSpec spec(name, name + "@" + std::to_string(threads));
+      SimConfig cfg = engine_cfg;
       cfg.num_threads = threads;
-      Simulator sim(cfg, day, generator.grid(), engine_cost, nullptr);
-      auto dispatcher = MakeDispatcherByName(name);
-      SimResult r = sim.Run(*dispatcher);
+      spec.config = cfg;
+      engine_specs.push_back(std::move(spec));
+    }
+  }
+  ExperimentRunner engine_runner(*engine_sim, /*num_threads=*/1);
+  StatusOr<std::vector<RunResult>> engine_runs =
+      engine_runner.RunAll(engine_specs);
+  if (!engine_runs.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n",
+                 engine_runs.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<EngineRecord> engine_records;
+  for (size_t n = 0; n < engine_names.size(); ++n) {
+    const SimResult* serial_result = nullptr;
+    for (size_t t = 0; t < thread_counts.size(); ++t) {
+      const RunResult& run =
+          (*engine_runs)[n * thread_counts.size() + t];
+      const SimResult& r = run.result;
       bool identical = true;
-      if (threads == 1) {
-        serial_result = r;
+      if (thread_counts[t] == 1) {
+        serial_result = &r;
       } else {
-        identical = SameResult(serial_result, r);
+        identical = SameResult(*serial_result, r);
       }
-      EngineRecord rec{name,
-                       threads,
+      EngineRecord rec{engine_names[n],
+                       thread_counts[t],
                        r.batch_build_seconds.mean() * 1e3,
                        r.batch_build_seconds.max() * 1e3,
                        r.batch_seconds.mean() * 1e3,
                        r.num_batches,
                        identical};
       engine_records.push_back(rec);
-      std::printf("%-10s %8d %12.4f %12.4f %12lld %10s\n", name, threads,
+      std::printf("%-10s %8d %12.4f %12.4f %12lld %10s\n",
+                  engine_names[n].c_str(), thread_counts[t],
                   rec.build_ms_mean, rec.dispatch_ms_mean,
                   static_cast<long long>(rec.num_batches),
                   identical ? "yes" : "NO");
@@ -269,53 +310,135 @@ int Main() {
         std::fprintf(stderr,
                      "FATAL: %s engine run diverged from serial at %d "
                      "threads\n",
-                     name, threads);
+                     engine_names[n].c_str(), thread_counts[t]);
         return 1;
       }
+    }
+  }
+
+  // ---- ExperimentRunner phase: wall-clock of an N-replication sweep
+  // (RAND:seed=i over a one-hour slice) executed serially vs. on runner
+  // threads {4}. Replications are independent runs, so the sweep must be
+  // bit-identical at every thread count; speedup requires real cores.
+  const int sweep_reps = EnvInt("MRVD_BENCH_SWEEP_REPS", 6, 1);
+  SimConfig sweep_cfg = engine_cfg;
+  sweep_cfg.horizon_seconds = 3600.0;
+  std::vector<RunSpec> sweep_specs;
+  for (int i = 0; i < sweep_reps; ++i) {
+    RunSpec spec("RAND", "RAND#" + std::to_string(i + 1));
+    spec.config = sweep_cfg;
+    spec.replication_seed = static_cast<uint64_t>(i + 1);
+    sweep_specs.push_back(std::move(spec));
+  }
+
+  struct SweepRecord {
+    int runner_threads;
+    double wall_seconds;
+    double speedup;
+    bool identical;
+  };
+  std::printf("\nexperiment_runner phase: %d replications, 1h slice\n",
+              sweep_reps);
+  std::printf("%8s %12s %9s %10s\n", "threads", "wall-s", "speedup",
+              "identical");
+  std::vector<SweepRecord> sweep_records;
+  std::vector<RunResult> sweep_serial;
+  for (int runner_threads : {1, 4}) {
+    ExperimentRunner sweep_runner(*engine_sim, runner_threads);
+    Stopwatch sweep_watch;
+    StatusOr<std::vector<RunResult>> sweep_runs =
+        sweep_runner.RunAll(sweep_specs);
+    double wall = sweep_watch.ElapsedSeconds();
+    if (!sweep_runs.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   sweep_runs.status().ToString().c_str());
+      return 1;
+    }
+    bool identical = true;
+    if (runner_threads == 1) {
+      sweep_serial = std::move(sweep_runs).value();
+    } else {
+      for (size_t i = 0; identical && i < sweep_serial.size(); ++i) {
+        identical = SameResult(sweep_serial[i].result,
+                               (*sweep_runs)[i].result);
+      }
+    }
+    SweepRecord rec{runner_threads, wall,
+                    sweep_records.empty()
+                        ? 1.0
+                        : sweep_records.front().wall_seconds / wall,
+                    identical};
+    sweep_records.push_back(rec);
+    std::printf("%8d %12.3f %8.2fx %10s\n", rec.runner_threads,
+                rec.wall_seconds, rec.speedup,
+                identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: replication sweep diverged at %d runner threads\n",
+                   runner_threads);
+      return 1;
     }
   }
 
   const char* json_path = std::getenv("MRVD_BENCH_JSON");
   std::string path = json_path != nullptr ? json_path : "BENCH_pipeline.json";
   std::ofstream json(path);
-  json << "{\n"
-       << "  \"bench\": \"micro_pipeline\",\n"
-       << "  \"grid\": \"16x16\",\n"
-       << "  \"riders\": " << num_riders << ",\n"
-       << "  \"drivers\": " << num_drivers << ",\n"
-       << "  \"reps\": " << reps << ",\n"
-       // The box's hardware concurrency, embedded so bench diffs across
-       // machines stay comparable (a 1-core run cannot show speedups).
-       << "  \"hardware_concurrency\": " << ThreadPool::HardwareThreads()
-       << ",\n"
-       << "  \"results\": [\n";
-  for (size_t i = 0; i < records.size(); ++i) {
-    const Record& r = records[i];
-    json << "    {\"dispatcher\": \"" << r.dispatcher
-         << "\", \"threads\": " << r.threads << ", \"ms_per_batch\": "
-         << r.median_ms << ", \"speedup\": " << r.speedup
-         << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
-         << (i + 1 < records.size() ? "," : "") << "\n";
+  JsonWriter w(json);
+  w.BeginObject();
+  w.Key("bench").String("micro_pipeline");
+  w.Key("grid").String("16x16");
+  w.Key("riders").Number(num_riders);
+  w.Key("drivers").Number(num_drivers);
+  w.Key("reps").Number(reps);
+  // The box's hardware concurrency, embedded so bench diffs across
+  // machines stay comparable (a 1-core run cannot show speedups).
+  w.Key("hardware_concurrency").Number(ThreadPool::HardwareThreads());
+  w.Key("results").BeginArray();
+  for (const Record& r : records) {
+    w.BeginObject();
+    w.Key("dispatcher").String(r.dispatcher);
+    w.Key("threads").Number(r.threads);
+    w.Key("ms_per_batch").Number(r.median_ms);
+    w.Key("speedup").Number(r.speedup);
+    w.Key("identical").Bool(r.identical);
+    w.EndObject();
   }
-  json << "  ],\n"
-       << "  \"engine\": {\n"
-       << "    \"orders\": " << day.orders.size() << ",\n"
-       << "    \"drivers\": " << engine_drivers << ",\n"
-       << "    \"horizon_hours\": " << engine_hours << ",\n"
-       << "    \"batch_interval_s\": 5,\n"
-       << "    \"results\": [\n";
-  for (size_t i = 0; i < engine_records.size(); ++i) {
-    const EngineRecord& r = engine_records[i];
-    json << "      {\"dispatcher\": \"" << r.dispatcher
-         << "\", \"threads\": " << r.threads
-         << ", \"build_ms_mean\": " << r.build_ms_mean
-         << ", \"build_ms_max\": " << r.build_ms_max
-         << ", \"dispatch_ms_mean\": " << r.dispatch_ms_mean
-         << ", \"num_batches\": " << r.num_batches
-         << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
-         << (i + 1 < engine_records.size() ? "," : "") << "\n";
+  w.EndArray();
+  w.Key("engine").BeginObject();
+  w.Key("orders").Number(static_cast<int64_t>(day.orders.size()));
+  w.Key("drivers").Number(engine_drivers);
+  w.Key("horizon_hours").Number(engine_hours);
+  w.Key("batch_interval_s").Number(5);
+  w.Key("results").BeginArray();
+  for (const EngineRecord& r : engine_records) {
+    w.BeginObject();
+    w.Key("dispatcher").String(r.dispatcher);
+    w.Key("threads").Number(r.threads);
+    w.Key("build_ms_mean").Number(r.build_ms_mean);
+    w.Key("build_ms_max").Number(r.build_ms_max);
+    w.Key("dispatch_ms_mean").Number(r.dispatch_ms_mean);
+    w.Key("num_batches").Number(r.num_batches);
+    w.Key("identical").Bool(r.identical);
+    w.EndObject();
   }
-  json << "    ]\n  }\n}\n";
+  w.EndArray();
+  w.EndObject();
+  w.Key("experiment_runner").BeginObject();
+  w.Key("replications").Number(sweep_reps);
+  w.Key("horizon_hours").Number(1);
+  w.Key("results").BeginArray();
+  for (const SweepRecord& r : sweep_records) {
+    w.BeginObject();
+    w.Key("runner_threads").Number(r.runner_threads);
+    w.Key("wall_seconds").Number(r.wall_seconds);
+    w.Key("speedup").Number(r.speedup);
+    w.Key("identical").Bool(r.identical);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+  json << "\n";
   if (!json) {
     std::fprintf(stderr, "ERROR: could not write %s\n", path.c_str());
     return 1;

@@ -1,21 +1,20 @@
 // Extending the framework with a custom dispatcher.
+// (New here? Read examples/quickstart.cpp first — it introduces the
+// SimulationBuilder surface this example builds on.)
 //
-// Implements an urgency-aware greedy: riders closest to their pickup
-// deadline are rescued first (ties broken by idle ratio). Demonstrates the
-// public Dispatcher/BatchContext API and compares against IRG on the same
-// workload.
-#include <algorithm>
+// Implements an urgency-aware greedy — riders closest to their pickup
+// deadline are rescued first, ties broken by idle ratio — and
+// SELF-REGISTERS it in the DispatcherRegistry with a typed parameter, so
+// "URGENT" and "URGENT:idle_weight=0" become first-class specs next to
+// "IRG" and "LS:max_sweeps=8". The sweep at the bottom runs the whole
+// comparison through ExperimentRunner.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "api/api.h"
 #include "dispatch/candidates.h"
-#include "dispatch/dispatchers.h"
-#include "geo/travel.h"
 #include "matching/bipartite.h"
-#include "prediction/forecast.h"
-#include "prediction/predictor.h"
-#include "sim/engine.h"
-#include "workload/generator.h"
 
 using namespace mrvd;
 
@@ -26,6 +25,8 @@ namespace {
 /// signal), i.e. combine deadline pressure with Eq. 17's idle ratio.
 class UrgencyDispatcher final : public Dispatcher {
  public:
+  explicit UrgencyDispatcher(double idle_weight) : idle_weight_(idle_weight) {}
+
   std::string name() const override { return "URGENT"; }
 
   void Dispatch(const BatchContext& ctx, std::vector<Assignment>* out) override {
@@ -40,43 +41,63 @@ class UrgencyDispatcher final : public Dispatcher {
       double idle_ratio = et / (r.trip_seconds + et);
       // Urgency dominates; the idle ratio orders riders of similar slack.
       weighted.push_back(
-          {c.rider_index, c.driver_index, slack + 200.0 * idle_ratio});
+          {c.rider_index, c.driver_index, slack + idle_weight_ * idle_ratio});
     }
     for (size_t idx : GreedyMatch(weighted)) {
       out->push_back({weighted[idx].left, weighted[idx].right});
     }
   }
+
+ private:
+  double idle_weight_;
 };
+
+// Self-registration: a static registrar adds URGENT to the global roster
+// before main() runs. The declared parameter gets the same treatment as the
+// built-ins' — "URGENT:idle_weight=50" parses and type-checks, and
+// "URGENT:bogus=1" fails with a Status naming the declared parameters.
+const DispatcherRegistrar kRegisterUrgent(
+    "URGENT",
+    {{"idle_weight", DispatcherParam::Type::kDouble, 200.0,
+      "weight of the idle ratio against deadline slack"}},
+    [](const DispatcherParams& p) {
+      return std::make_unique<UrgencyDispatcher>(p.GetDouble("idle_weight"));
+    });
 
 }  // namespace
 
 int main() {
-  GeneratorConfig cfg;
-  cfg.orders_per_day = 30000;
-  NycLikeGenerator generator(cfg);
-  Workload day = generator.GenerateDay(2, 280);
+  GeneratorConfig city;
+  city.orders_per_day = 30000;
+  StatusOr<Simulation> sim = SimulationBuilder()
+                                 .GenerateNycDay(/*day_index=*/2,
+                                                 /*num_drivers=*/280, city)
+                                 .WithOracleForecast()
+                                 .Build();
+  if (!sim.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", sim.status().ToString().c_str());
+    return 1;
+  }
 
-  DemandHistory realized = generator.RealizedCounts(day, 48);
-  auto oracle = MakeOraclePredictor();
-  auto forecast = DemandForecast::Build(*oracle, realized, 0);
-  if (!forecast.ok()) return 1;
+  ExperimentRunner runner(*sim);
+  StatusOr<std::vector<RunResult>> results = runner.RunAll({
+      {"URGENT"},                 // idle_weight at its declared default
+      {"URGENT:idle_weight=0"},   // pure deadline pressure, no queue signal
+      {"IRG"},
+      {"NEAR"},
+  });
+  if (!results.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
 
-  StraightLineCostModel cost(11.0, 1.3);
-  SimConfig sim_cfg;
-
-  UrgencyDispatcher urgent;
-  auto irg = MakeIrgDispatcher();
-  auto near = MakeNearestDispatcher();
-
-  std::printf("%-8s %12s %10s %10s\n", "approach", "revenue", "served",
+  std::printf("%-22s %12s %10s %10s\n", "spec", "revenue", "served",
               "svc-rate");
-  for (Dispatcher* d :
-       {static_cast<Dispatcher*>(&urgent), irg.get(), near.get()}) {
-    Simulator sim(sim_cfg, day, generator.grid(), cost, &forecast.value());
-    SimResult r = sim.Run(*d);
-    std::printf("%-8s %12.4e %10lld %9.1f%%\n", d->name().c_str(),
-                r.total_revenue, (long long)r.served_orders,
-                100.0 * r.ServiceRate());
+  for (const RunResult& r : *results) {
+    std::printf("%-22s %12.4e %10lld %9.1f%%\n", r.label.c_str(),
+                r.result.total_revenue, (long long)r.result.served_orders,
+                100.0 * r.result.ServiceRate());
   }
   std::printf(
       "\nThe urgency rule typically serves more orders; IRG earns more\n"

@@ -1,8 +1,11 @@
 // Full-day NYC-style simulation comparing every dispatching approach on the
-// same workload — the paper's evaluation loop in miniature. Also shows the
-// staged engine's SimObserver hooks: a custom observer collects a per-hour
-// served/reneged breakdown for the winning approach without touching the
+// same workload — the paper's evaluation loop in miniature, expressed as an
+// ExperimentRunner sweep over the DispatcherRegistry's roster. Also shows
+// the staged engine's SimObserver hooks: a custom observer collects a
+// per-hour served/reneged breakdown for one approach without touching the
 // engine.
+// (New here? Read examples/quickstart.cpp first — it introduces the
+// SimulationBuilder surface this example builds on.)
 //
 // Usage:
 //   ./build/examples/nyc_day_simulation [options] [orders_per_day]
@@ -27,14 +30,10 @@
 #include <string>
 #include <vector>
 
-#include "dispatch/dispatchers.h"
-#include "geo/travel.h"
-#include "prediction/forecast.h"
+#include "api/api.h"
 #include "prediction/predictor.h"
 #include "scenario/generator.h"
-#include "sim/engine.h"
 #include "util/strings.h"
-#include "workload/generator.h"
 #include "workload/tlc_parser.h"
 
 using namespace mrvd;
@@ -216,44 +215,47 @@ int main(int argc, char** argv) {
   auto forecast = DemandForecast::Build(*deepst, train, /*eval_day=*/21);
   if (!forecast.ok()) return 1;
 
-  StraightLineCostModel cost(11.0, 1.3);
-  SimConfig cfg;  // paper defaults: Δ=3 s, t_c=20 min
-  cfg.num_threads = opt.threads;
-  cfg.num_shards = opt.shards;
+  // One assembled environment; the runner sweeps the registry's whole
+  // roster over it (UPPER's zero-pickup-travel trait applies itself).
+  StatusOr<Simulation> sim = SimulationBuilder()
+                                 .WithWorkload(std::move(day), generator.grid())
+                                 .WithForecast(std::move(forecast).value())
+                                 .WithScenario(std::move(script))
+                                 .Threads(opt.threads)
+                                 .Shards(opt.shards)
+                                 .Build();
+  if (!sim.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", sim.status().ToString().c_str());
+    return 1;
+  }
+
+  HourlyBreakdown hourly;
+  std::vector<RunSpec> specs;
+  for (const std::string& name : DispatcherRegistry::Global().Names()) {
+    RunSpec spec(name);
+    if (name == "IRG") spec.observer = &hourly;
+    specs.push_back(spec);
+  }
+
+  ExperimentRunner runner(*sim);
+  StatusOr<std::vector<RunResult>> results = runner.RunAll(specs);
+  if (!results.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("\n%-8s %12s %10s %10s %8s %12s %12s %10s\n", "approach",
               "revenue", "served", "reneged", "cancel", "svc-rate",
               "batch-ms", "build-ms");
-  std::vector<std::pair<std::string, std::unique_ptr<Dispatcher>>> approaches;
-  approaches.emplace_back("RAND", MakeRandomDispatcher(1));
-  approaches.emplace_back("NEAR", MakeNearestDispatcher());
-  approaches.emplace_back("LTG", MakeLongTripGreedyDispatcher());
-  approaches.emplace_back("POLAR", MakePolarDispatcher());
-  approaches.emplace_back("IRG", MakeIrgDispatcher());
-  approaches.emplace_back("LS", MakeLocalSearchDispatcher());
-  approaches.emplace_back("SHORT", MakeShortDispatcher());
-  HourlyBreakdown hourly;
-  for (auto& [name, dispatcher] : approaches) {
-    Simulator sim(cfg, day, generator.grid(), cost, &forecast.value());
-    SimResult r =
-        sim.Run(*dispatcher, script, name == "IRG" ? &hourly : nullptr);
+  for (const RunResult& run : *results) {
+    const SimResult& r = run.result;
     std::printf("%-8s %12.4e %10lld %10lld %8lld %11.1f%% %12.3f %10.4f\n",
-                name.c_str(), r.total_revenue, (long long)r.served_orders,
+                run.label.c_str(), r.total_revenue, (long long)r.served_orders,
                 (long long)r.reneged_orders, (long long)r.cancelled_orders,
                 100.0 * r.ServiceRate(), r.batch_seconds.mean() * 1e3,
                 r.batch_build_seconds.mean() * 1e3);
   }
   hourly.Print();
-
-  // And the per-batch upper bound.
-  SimConfig upper_cfg = cfg;
-  upper_cfg.zero_pickup_travel = true;
-  auto upper = MakeUpperBoundDispatcher();
-  Simulator sim(upper_cfg, day, generator.grid(), cost, nullptr);
-  SimResult r = sim.Run(*upper, script);
-  std::printf("%-8s %12.4e %10lld %10s %8lld %11.1f%% %12.3f\n", "UPPER",
-              r.total_revenue, (long long)r.served_orders, "-",
-              (long long)r.cancelled_orders, 100.0 * r.ServiceRate(),
-              r.batch_seconds.mean() * 1e3);
   return 0;
 }

@@ -1,61 +1,50 @@
-// Quickstart: generate a small synthetic day, dispatch it with the
-// queueing-based local-search algorithm (LS), and print the outcome.
+// Quickstart — START HERE. The experiment API's front door: a complete
+// simulated day (synthetic NYC workload, ground-truth demand forecast,
+// batch engine, local-search dispatcher) assembled and run in ~10 lines
+// through SimulationBuilder.
+//
+// Every other example builds on the same surface (src/api/): the
+// DispatcherRegistry resolves "LS" below — or "LS:max_sweeps=8",
+// "RAND:seed=42", any registered spec — and unknown names fail with a
+// Status naming the known roster instead of crashing.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "dispatch/dispatchers.h"
-#include "geo/travel.h"
-#include "prediction/forecast.h"
-#include "prediction/predictor.h"
-#include "sim/engine.h"
-#include "workload/generator.h"
+#include "api/api.h"
 
 using namespace mrvd;
 
 int main() {
-  // 1. A city: the paper's 16x16 NYC grid, scaled-down demand.
-  GeneratorConfig gen_cfg;
-  gen_cfg.orders_per_day = 20000;
-  NycLikeGenerator generator(gen_cfg);
-  Workload day = generator.GenerateDay(/*day_index=*/7, /*num_drivers=*/250);
-  std::printf("generated %zu orders for %zu drivers\n", day.orders.size(),
-              day.drivers.size());
-
-  // 2. A demand forecast: here the ground-truth oracle over the realized
-  //    per-slot counts (swap in MakeDeepStSurrogatePredictor() + training
-  //    history for a deployable predictor — see examples/demand_prediction).
-  DemandHistory realized = generator.RealizedCounts(day, 48);
-  auto oracle = MakeOraclePredictor();
-  auto forecast = DemandForecast::Build(*oracle, realized, /*eval_day=*/0);
-  if (!forecast.ok()) {
-    std::fprintf(stderr, "forecast failed: %s\n",
-                 forecast.status().ToString().c_str());
+  GeneratorConfig city;         // the paper's 16x16 NYC grid...
+  city.orders_per_day = 20000;  // ...at scaled-down demand
+  StatusOr<Simulation> sim =
+      SimulationBuilder()
+          .GenerateNycDay(/*day_index=*/7, /*num_drivers=*/250, city)
+          .WithOracleForecast()  // ground-truth per-slot demand counts
+          .Build();
+  if (!sim.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", sim.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<SimResult> run = sim->Run("LS");  // queueing-based local search
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
     return 1;
   }
 
-  // 3. Simulate the batch-based platform (Algorithm 1) under LS.
-  SimConfig sim_cfg;
-  sim_cfg.batch_interval = 3.0;      // Δ
-  sim_cfg.window_seconds = 1200.0;   // t_c = 20 min
-  StraightLineCostModel cost(11.0, 1.3);
-  Simulator sim(sim_cfg, day, generator.grid(), cost, &forecast.value());
-
-  auto ls = MakeLocalSearchDispatcher();
-  SimResult result = sim.Run(*ls);
-
-  std::printf("dispatcher       : %s\n", result.dispatcher.c_str());
+  const SimResult& r = *run;
+  std::printf("dispatcher       : %s\n", r.dispatcher.c_str());
   std::printf("served orders    : %lld / %lld (%.1f%%)\n",
-              (long long)result.served_orders, (long long)result.total_orders,
-              100.0 * result.ServiceRate());
+              (long long)r.served_orders, (long long)r.total_orders,
+              100.0 * r.ServiceRate());
   std::printf("total revenue    : %.3e (alpha * trip seconds)\n",
-              result.total_revenue);
-  std::printf("mean rider wait  : %.1f s\n", result.served_wait_seconds.mean());
-  std::printf("mean driver idle : %.1f s\n", result.driver_idle_seconds.mean());
+              r.total_revenue);
+  std::printf("mean rider wait  : %.1f s\n", r.served_wait_seconds.mean());
+  std::printf("mean driver idle : %.1f s\n", r.driver_idle_seconds.mean());
   std::printf("mean batch time  : %.3f ms over %lld batches\n",
-              result.batch_seconds.mean() * 1e3,
-              (long long)result.num_batches);
+              r.batch_seconds.mean() * 1e3, (long long)r.num_batches);
   return 0;
 }

@@ -1,14 +1,15 @@
 // Road-network substrate walkthrough: build a Manhattan-style grid network
 // over the NYC box, route with Dijkstra and A*, and plug the network-based
-// travel-cost model into the simulator instead of the straight-line model.
+// travel-cost model into the simulation via SimulationBuilder's
+// WithTravelModel instead of the default straight-line model.
+// (New here? Read examples/quickstart.cpp first — it introduces the
+// SimulationBuilder surface this example builds on.)
 #include <cstdio>
 #include <memory>
 
-#include "dispatch/dispatchers.h"
+#include "api/api.h"
 #include "roadnet/graph.h"
 #include "roadnet/shortest_path.h"
-#include "sim/engine.h"
-#include "workload/generator.h"
 
 using namespace mrvd;
 
@@ -41,16 +42,25 @@ int main() {
   Workload day = generator.GenerateDay(1, 200);
 
   RoadNetworkCostModel road_cost(net, kNycBoundingBox, 8.0);
-  SimConfig sim_cfg;
-  sim_cfg.batch_interval = 10.0;
-  sim_cfg.horizon_seconds = 12 * 3600.0;
-  Simulator sim(sim_cfg, day, generator.grid(), road_cost, nullptr);
-  auto near = MakeNearestDispatcher();
-  SimResult r = sim.Run(*near);
+  StatusOr<Simulation> sim = SimulationBuilder()
+                                 .WithWorkload(std::move(day), generator.grid())
+                                 .WithTravelModel(road_cost)
+                                 .BatchInterval(10.0)
+                                 .HorizonSeconds(12 * 3600.0)
+                                 .Build();
+  if (!sim.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", sim.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<SimResult> run = sim->Run("NEAR");
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nhalf-day sim on the road network: served %lld orders, revenue "
       "%.3e, mean batch %.2f ms\n",
-      (long long)r.served_orders, r.total_revenue,
-      r.batch_seconds.mean() * 1e3);
+      (long long)run->served_orders, run->total_revenue,
+      run->batch_seconds.mean() * 1e3);
   return 0;
 }

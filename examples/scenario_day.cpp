@@ -1,58 +1,69 @@
 // A scripted operations day through the scenario event subsystem: a
 // two-shift fleet (the evening half is off duty until mid-day), a rider
 // cancellation hazard, and morning + evening demand surges — run under the
-// full dispatcher roster on the same base workload. A timeline observer
-// prints the shift changes and surge transitions as the engine applies
-// them, plus a per-hour cancellation profile for the winning approach.
+// full dispatcher roster on the same base workload.
+// (New here? Read examples/quickstart.cpp first — it introduces the
+// SimulationBuilder surface this example builds on.)
+//
+// The roster comes straight from the DispatcherRegistry (no hand-written
+// name list), the runs execute through ExperimentRunner, and the first run
+// carries an ObserverChain composing two independent links — a narrator
+// printing shift/surge transitions and a per-hour cancellation profile —
+// where the old API offered a single observer slot.
 //
 // Usage:
 //   ./build/examples/scenario_day [orders_per_day] [num_drivers]
+#include <climits>
 #include <cstdio>
-#include <cstdlib>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "dispatch/dispatchers.h"
-#include "geo/travel.h"
-#include "prediction/forecast.h"
-#include "prediction/predictor.h"
+#include "api/api.h"
 #include "scenario/generator.h"
-#include "sim/engine.h"
-#include "workload/generator.h"
+#include "util/strings.h"
 
 using namespace mrvd;
 
 namespace {
 
-/// Prints shift/surge transitions once (for the first run) and keeps
-/// per-hour cancellation counts.
-class TimelineObserver : public SimObserver {
+/// Prints shift changes and surge transitions as the engine applies them.
+class TimelineNarrator : public SimObserver {
  public:
-  explicit TimelineObserver(bool narrate) : narrate_(narrate) {}
-
   void OnDriverShiftChange(double now, DriverId driver_id,
                            bool signed_on) override {
-    ++(signed_on ? sign_ons_ : sign_offs_);
-    if (narrate_ && (sign_ons_ + sign_offs_) % 100 == 1) {
+    ++changes_;
+    if (changes_ % 100 == 1) {
       std::printf("  %s driver %lld signs %s (change #%lld)\n",
                   Clock(now).c_str(), (long long)driver_id,
-                  signed_on ? "on" : "off",
-                  (long long)(sign_ons_ + sign_offs_));
+                  signed_on ? "on" : "off", (long long)changes_);
     }
   }
   void OnSurgeChange(double now, const SurgeWindow& w, bool active) override {
-    if (narrate_) {
-      std::printf("  %s surge x%.1f %s\n", Clock(now).c_str(), w.multiplier,
-                  active ? "begins" : "ends");
-    }
-  }
-  void OnRiderCancelled(double now, const Order&) override {
-    ++cancelled_by_hour_[Hour(now)];
+    std::printf("  %s surge x%.1f %s\n", Clock(now).c_str(), w.multiplier,
+                active ? "begins" : "ends");
   }
 
-  void PrintCancellationProfile() const {
-    std::printf("\nhourly cancellations (IRG):\n  hour  cancelled\n");
+ private:
+  static std::string Clock(double now) {
+    int minutes = static_cast<int>(now / 60.0);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%02d:%02d", minutes / 60, minutes % 60);
+    return buf;
+  }
+  int64_t changes_ = 0;
+};
+
+/// Per-hour cancellation counts — an independent chain link.
+class CancellationProfile : public SimObserver {
+ public:
+  void OnRiderCancelled(double now, const Order&) override {
+    int h = static_cast<int>(now / 3600.0);
+    ++cancelled_by_hour_[h < 0 ? 0 : (h > 23 ? 23 : h)];
+  }
+
+  void Print(const std::string& label) const {
+    std::printf("\nhourly cancellations (%s):\n  hour  cancelled\n",
+                label.c_str());
     for (int h = 0; h < 24; ++h) {
       if (cancelled_by_hour_[h] == 0) continue;
       std::printf("  %4d %10lld\n", h, (long long)cancelled_by_hour_[h]);
@@ -60,27 +71,33 @@ class TimelineObserver : public SimObserver {
   }
 
  private:
-  static int Hour(double now) {
-    int h = static_cast<int>(now / 3600.0);
-    return h < 0 ? 0 : (h > 23 ? 23 : h);
-  }
-  static std::string Clock(double now) {
-    int minutes = static_cast<int>(now / 60.0);
-    char buf[16];
-    std::snprintf(buf, sizeof(buf), "%02d:%02d", minutes / 60, minutes % 60);
-    return buf;
-  }
-
-  bool narrate_;
-  int64_t sign_ons_ = 0, sign_offs_ = 0;
   int64_t cancelled_by_hour_[24] = {};
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  double orders = argc > 1 ? std::atof(argv[1]) : 30000.0;
-  int drivers = argc > 2 ? std::atoi(argv[2]) : 300;
+  // Strict parsing: "3OO" or "30k" is a usage error, not a silent 3 / 30.
+  double orders = 30000.0;
+  int drivers = 300;
+  if (argc > 1) {
+    StatusOr<double> v = ParseDouble(argv[1]);
+    if (!v.ok()) {
+      std::fprintf(stderr, "bad orders_per_day '%s'\nusage: %s "
+                   "[orders_per_day] [num_drivers]\n", argv[1], argv[0]);
+      return 2;
+    }
+    orders = *v;
+  }
+  if (argc > 2) {
+    StatusOr<int64_t> v = ParseInt64(argv[2]);
+    if (!v.ok() || *v < 1 || *v > INT_MAX) {
+      std::fprintf(stderr, "bad num_drivers '%s'\nusage: %s "
+                   "[orders_per_day] [num_drivers]\n", argv[2], argv[0]);
+      return 2;
+    }
+    drivers = static_cast<int>(*v);
+  }
 
   GeneratorConfig gen_cfg;
   gen_cfg.orders_per_day = orders;
@@ -103,52 +120,56 @@ int main(int argc, char** argv) {
               "hazard, AM+PM surges)\n\n",
               script.size());
 
-  // Oracle forecast from the day's realized counts, so the surge
-  // multipliers act on a live demand prediction.
-  DemandHistory realized = generator.RealizedCounts(day, 48);
-  auto oracle = MakeOraclePredictor();
-  auto forecast = DemandForecast::Build(*oracle, realized, /*eval_day=*/0);
-  if (!forecast.ok()) {
-    std::fprintf(stderr, "forecast failed: %s\n",
-                 forecast.status().ToString().c_str());
+  // One environment for every run: the workload, the realized-counts
+  // oracle forecast (so the surge multipliers act on a live prediction),
+  // and the script. Paper defaults: Δ=3 s, t_c=20 min.
+  StatusOr<Simulation> sim = SimulationBuilder()
+                                 .WithWorkload(std::move(day), generator.grid())
+                                 .WithOracleForecast()
+                                 .WithScenario(std::move(script))
+                                 .Build();
+  if (!sim.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", sim.status().ToString().c_str());
     return 1;
   }
 
-  StraightLineCostModel cost(11.0, 1.3);
-  SimConfig cfg;  // paper defaults: Δ=3 s, t_c=20 min
+  // The registry IS the roster — alphabetical, UPPER automatically running
+  // with zero pickup travel via its registered trait.
+  const std::vector<std::string> roster = DispatcherRegistry::Global().Names();
 
-  std::vector<std::pair<std::string, std::unique_ptr<Dispatcher>>> roster;
-  roster.emplace_back("RAND", MakeRandomDispatcher(1));
-  roster.emplace_back("NEAR", MakeNearestDispatcher());
-  roster.emplace_back("LTG", MakeLongTripGreedyDispatcher());
-  roster.emplace_back("POLAR", MakePolarDispatcher());
-  roster.emplace_back("IRG", MakeIrgDispatcher());
-  roster.emplace_back("LS", MakeLocalSearchDispatcher());
-  roster.emplace_back("SHORT", MakeShortDispatcher());
-  roster.emplace_back("UPPER", MakeUpperBoundDispatcher());
+  // The first run narrates the timeline and profiles cancellations through
+  // one ObserverChain: two links, one observer slot.
+  TimelineNarrator narrator;
+  CancellationProfile profile;
+  ObserverChain chain;
+  chain.Add(&narrator).Add(&profile);
 
-  TimelineObserver irg_timeline(/*narrate=*/false);
-  bool first = true;
-  for (auto& [name, dispatcher] : roster) {
-    SimConfig run_cfg = cfg;
-    if (name == "UPPER") run_cfg.zero_pickup_travel = true;
-    Simulator sim(run_cfg, day, generator.grid(), cost, &forecast.value());
-    TimelineObserver narrator(/*narrate=*/first);
-    if (first) std::printf("timeline (%s run):\n", name.c_str());
-    SimObserver* obs = name == "IRG" ? static_cast<SimObserver*>(&irg_timeline)
-                                     : &narrator;
-    SimResult r = sim.Run(*dispatcher, script, obs);
-    if (first) {
-      std::printf("\n%-8s %12s %9s %9s %9s %9s %9s\n", "approach", "revenue",
-                  "served", "reneged", "cancel", "svc-rate", "shift-chg");
-    }
-    first = false;
-    std::printf("%-8s %12.4e %9lld %9lld %9lld %8.1f%% %9lld\n", name.c_str(),
-                r.total_revenue, (long long)r.served_orders,
-                (long long)r.reneged_orders, (long long)r.cancelled_orders,
-                100.0 * r.ServiceRate(),
+  std::vector<RunSpec> specs;
+  for (size_t i = 0; i < roster.size(); ++i) {
+    RunSpec spec(roster[i]);
+    if (i == 0) spec.observer = &chain;
+    specs.push_back(spec);
+  }
+
+  std::printf("timeline (%s run):\n", roster.front().c_str());
+  ExperimentRunner runner(*sim);  // serial: keeps the narration readable
+  StatusOr<std::vector<RunResult>> results = runner.RunAll(specs);
+  if (!results.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-8s %12s %9s %9s %9s %9s %9s\n", "approach", "revenue",
+              "served", "reneged", "cancel", "svc-rate", "shift-chg");
+  for (const RunResult& run : *results) {
+    const SimResult& r = run.result;
+    std::printf("%-8s %12.4e %9lld %9lld %9lld %8.1f%% %9lld\n",
+                run.label.c_str(), r.total_revenue,
+                (long long)r.served_orders, (long long)r.reneged_orders,
+                (long long)r.cancelled_orders, 100.0 * r.ServiceRate(),
                 (long long)(r.driver_sign_ons + r.driver_sign_offs));
   }
-  irg_timeline.PrintCancellationProfile();
+  profile.Print(roster.front());
   return 0;
 }

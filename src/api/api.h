@@ -1,0 +1,16 @@
+// Umbrella header for the experiment API — the canonical way to assemble
+// and execute runs:
+//
+//   * SimulationBuilder / Simulation  — fluent, validated assembly
+//   * DispatcherRegistry              — dispatchers from spec strings
+//   * ObserverChain                   — composable observation
+//   * ExperimentRunner                — declarative, parallel sweeps
+//
+// Start with examples/quickstart.cpp; ARCHITECTURE.md ("Experiment API")
+// explains how the layer sits above the engine.
+#pragma once
+
+#include "api/dispatcher_registry.h"   // IWYU pragma: export
+#include "api/experiment_runner.h"     // IWYU pragma: export
+#include "api/observer_chain.h"        // IWYU pragma: export
+#include "api/simulation_builder.h"    // IWYU pragma: export

@@ -1,0 +1,52 @@
+// ObserverChain: the experiment API's composable fan-out observer.
+//
+// Simulator::Run accepts a single SimObserver; before this layer existed,
+// metrics collection, hourly breakdowns and traces competed for that one
+// slot. An ObserverChain composes them: every engine hook is forwarded to each
+// link in registration order, and links can be either borrowed (caller
+// keeps ownership and lifetime) or owned by the chain. The engine's
+// built-in MetricsCollector is just another link — Simulation::Run chains
+// it in front of whatever the caller attaches.
+//
+//   HourlyBreakdown hourly;
+//   ObserverChain chain;
+//   chain.Add(&hourly)                       // borrowed
+//        .Own(std::make_unique<Tracer>());   // owned
+//   sim.Run(dispatcher, &chain);
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/observer.h"
+
+namespace mrvd {
+
+/// Fan-out observer with optional link ownership. Hooks fire on every link
+/// in the order the links were added, regardless of how they are owned.
+class ObserverChain final : public ObserverList {
+ public:
+  ObserverChain() = default;
+
+  /// Appends a borrowed link (null is ignored). The pointee must outlive
+  /// the chain's last forwarded hook.
+  ObserverChain& Add(SimObserver* observer) {
+    ObserverList::Add(observer);
+    return *this;
+  }
+
+  /// Appends a link the chain owns (null is ignored).
+  ObserverChain& Own(std::unique_ptr<SimObserver> observer) {
+    if (observer != nullptr) {
+      ObserverList::Add(observer.get());
+      owned_.push_back(std::move(observer));
+    }
+    return *this;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SimObserver>> owned_;
+};
+
+}  // namespace mrvd

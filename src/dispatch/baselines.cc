@@ -120,18 +120,4 @@ std::unique_ptr<Dispatcher> MakeUpperBoundDispatcher() {
   return std::make_unique<UpperBoundDispatcher>();
 }
 
-std::unique_ptr<Dispatcher> MakeDispatcherByName(const std::string& name,
-                                                 uint64_t seed,
-                                                 int max_sweeps) {
-  if (name == "RAND") return MakeRandomDispatcher(seed);
-  if (name == "NEAR") return MakeNearestDispatcher();
-  if (name == "LTG") return MakeLongTripGreedyDispatcher();
-  if (name == "IRG") return MakeIrgDispatcher();
-  if (name == "LS") return MakeLocalSearchDispatcher(max_sweeps);
-  if (name == "SHORT") return MakeShortDispatcher();
-  if (name == "POLAR") return MakePolarDispatcher();
-  if (name == "UPPER") return MakeUpperBoundDispatcher();
-  return nullptr;
-}
-
 }  // namespace mrvd

@@ -1,7 +1,9 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "sim/batch_builder.h"
 #include "sim/fleet_state.h"
 #include "sim/order_book.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -123,6 +126,42 @@ class ScenarioState {
 
 }  // namespace
 
+Status SimConfig::Validate() const {
+  if (!(batch_interval > 0.0)) {
+    return Status::InvalidArgument(
+        "batch_interval (Δ) must be positive, got " +
+        std::to_string(batch_interval));
+  }
+  if (!(window_seconds > 0.0)) {
+    return Status::InvalidArgument(
+        "window_seconds (t_c) must be positive, got " +
+        std::to_string(window_seconds));
+  }
+  if (!(horizon_seconds > 0.0)) {
+    return Status::InvalidArgument("horizon_seconds must be positive, got " +
+                                   std::to_string(horizon_seconds));
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0 (0 = hardware concurrency), got " +
+        std::to_string(num_threads));
+  }
+  if (num_shards < 0) {
+    return Status::InvalidArgument(
+        "num_shards must be >= 0 (0 = derive from threads), got " +
+        std::to_string(num_shards));
+  }
+  if (!(alpha > 0.0)) {
+    return Status::InvalidArgument("alpha (fee rate) must be positive, got " +
+                                   std::to_string(alpha));
+  }
+  if (reneging_beta < 0.0) {
+    return Status::InvalidArgument("reneging_beta must be >= 0, got " +
+                                   std::to_string(reneging_beta));
+  }
+  return Status::OK();
+}
+
 Simulator::Simulator(const SimConfig& config, const Workload& workload,
                      const Grid& grid, const TravelCostModel& cost_model,
                      const DemandForecast* forecast)
@@ -130,7 +169,14 @@ Simulator::Simulator(const SimConfig& config, const Workload& workload,
       workload_(workload),
       grid_(grid),
       cost_model_(cost_model),
-      forecast_(forecast) {}
+      forecast_(forecast) {
+  // An invalid config this deep is a programming error (SimulationBuilder
+  // reports it as a Status before the engine is ever constructed).
+  if (Status st = config_.Validate(); !st.ok()) {
+    MRVD_LOG(Error) << "invalid SimConfig: " << st;
+    std::abort();
+  }
+}
 
 SimResult Simulator::Run(Dispatcher& dispatcher, SimObserver* extra) {
   return RunImpl(dispatcher, nullptr, extra);

@@ -23,6 +23,7 @@
 #include "sim/batch.h"
 #include "sim/metrics.h"
 #include "sim/observer.h"
+#include "util/status.h"
 #include "workload/types.h"
 
 namespace mrvd {
@@ -55,6 +56,14 @@ struct SimConfig {
   /// Region shards for the pipeline; 0 derives 2x the worker count
   /// (clamped to the grid's row count by the partitioner).
   int num_shards = 0;
+
+  /// Rejects configs the engine cannot run: non-positive batch_interval /
+  /// window_seconds / horizon_seconds, negative num_threads / num_shards,
+  /// negative reneging_beta or non-positive alpha. Called by
+  /// SimulationBuilder::Build() (returning the Status to the caller) and by
+  /// Simulator's constructor (which aborts on an invalid config — reaching
+  /// the engine with one is a programming error).
+  Status Validate() const;
 };
 
 /// Simulates one day of a Workload under a dispatcher.

@@ -109,7 +109,9 @@ class SimObserver {
 };
 
 /// Fans every hook out to a list of observers, in registration order.
-class ObserverList final : public SimObserver {
+/// Borrows its links; the owning variant is ObserverChain
+/// (api/observer_chain.h), which extends this class.
+class ObserverList : public SimObserver {
  public:
   void Add(SimObserver* observer) {
     if (observer != nullptr) observers_.push_back(observer);

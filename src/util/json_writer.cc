@@ -1,0 +1,143 @@
+#include "util/json_writer.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace mrvd {
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  os_ << "{";
+  scopes_.push_back(Scope::kObject);
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  scopes_.pop_back();
+  if (!first_in_scope_) {
+    os_ << "\n";
+    Indent();
+  }
+  os_ << "}";
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  os_ << "[";
+  scopes_.push_back(Scope::kArray);
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  scopes_.pop_back();
+  if (!first_in_scope_) {
+    os_ << "\n";
+    Indent();
+  }
+  os_ << "]";
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  BeforeValue();
+  os_ << '"';
+  WriteEscaped(key);
+  os_ << "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  os_ << '"';
+  WriteEscaped(value);
+  os_ << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  // Shortest round-trip formatting: artifacts compare bit-exact across
+  // runs/machines instead of being rounded to the stream's (caller-set)
+  // precision. Our values are always finite.
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec == std::errc()) {
+    os_.write(buf, ptr - buf);
+  } else {
+    os_ << value;  // unreachable for finite doubles; keep a fallback
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(int64_t value) {
+  BeforeValue();
+  os_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(uint64_t value) {
+  BeforeValue();
+  os_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  os_ << (value ? "true" : "false");
+  return *this;
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    // The key already emitted the separator; the value goes inline.
+    after_key_ = false;
+    return;
+  }
+  if (scopes_.empty()) return;  // top-level value
+  if (!first_in_scope_) os_ << ",";
+  os_ << "\n";
+  Indent();
+  first_in_scope_ = false;
+}
+
+void JsonWriter::Indent() {
+  for (size_t i = 0; i < scopes_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::WriteEscaped(std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      case '\r':
+        os_ << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+}
+
+}  // namespace mrvd

@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer shared by the bench harnesses and the
+// experiment API's RunResult serialisation. Emits pretty-printed JSON with
+// two-space indentation; commas and newlines are managed by the scope
+// stack, so callers only state structure:
+//
+//   JsonWriter w(os);
+//   w.BeginObject();
+//   w.Key("bench").String("micro_pipeline");
+//   w.Key("results").BeginArray();
+//   ...
+//   w.EndArray();
+//   w.EndObject();
+//
+// Only the subset of JSON this project emits is supported (no unicode
+// escaping beyond control characters and quotes/backslashes).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace mrvd {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object member key; must be followed by exactly one value (or scope).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Number(int64_t value);
+  JsonWriter& Number(int value) { return Number(static_cast<int64_t>(value)); }
+  JsonWriter& Number(uint64_t value);
+  JsonWriter& Bool(bool value);
+
+ private:
+  /// Emits the comma/newline/indent that precedes a new value or key.
+  void BeforeValue();
+  void Indent();
+  void WriteEscaped(std::string_view s);
+
+  enum class Scope { kObject, kArray };
+  std::ostream& os_;
+  std::vector<Scope> scopes_;
+  bool first_in_scope_ = true;   ///< no comma before the next element
+  bool after_key_ = false;       ///< next value follows a "key": inline
+};
+
+}  // namespace mrvd

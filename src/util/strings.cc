@@ -1,5 +1,6 @@
 #include "util/strings.h"
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -48,9 +49,15 @@ StatusOr<int64_t> ParseInt64(std::string_view s) {
   if (s.empty()) return Status::InvalidArgument("empty string is not an int");
   std::string buf(s);
   char* end = nullptr;
+  errno = 0;
   long long v = std::strtoll(buf.c_str(), &end, 10);
   if (end != buf.c_str() + buf.size()) {
     return Status::InvalidArgument("not an integer: '" + buf + "'");
+  }
+  // strtoll clamps to LLONG_MIN/MAX on overflow; that is a parse failure
+  // here, not a value.
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of int64 range: '" + buf + "'");
   }
   return static_cast<int64_t>(v);
 }

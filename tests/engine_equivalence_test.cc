@@ -11,10 +11,13 @@
 #include <deque>
 #include <memory>
 #include <queue>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "dispatch/dispatchers.h"
+#include "api/dispatcher_registry.h"
 #include "geo/region_partitioner.h"
+#include "registry_test_helpers.h"
 #include "geo/travel.h"
 #include "prediction/forecast.h"
 #include "prediction/predictor.h"
@@ -307,6 +310,8 @@ void ExpectBitIdentical(const SimResult& want, const SimResult& got,
   }
 }
 
+using test::MakeSeeded;  // registry-built, canonical test seed by default
+
 class EngineEquivalenceTest : public ::testing::Test {
  protected:
   EngineEquivalenceTest() : cost_(7.0, 1.3) {
@@ -326,11 +331,13 @@ class EngineEquivalenceTest : public ::testing::Test {
 
   void CheckDispatcher(const std::string& name, SimConfig cfg,
                        const DemandForecast* forecast = nullptr) {
-    if (name == "UPPER") cfg.zero_pickup_travel = true;
+    if (DispatcherRegistry::Global().RequiresZeroPickupTravel(name)) {
+      cfg.zero_pickup_travel = true;
+    }
     for (int threads : {1, 4}) {
       cfg.num_threads = threads;
-      auto ref_dispatcher = MakeDispatcherByName(name, /*seed=*/5);
-      auto staged_dispatcher = MakeDispatcherByName(name, /*seed=*/5);
+      auto ref_dispatcher = MakeSeeded(name);
+      auto staged_dispatcher = MakeSeeded(name);
       ASSERT_NE(ref_dispatcher, nullptr) << name;
       SimResult want = ReferenceRun(cfg, workload_, gen_->grid(), cost_,
                                     forecast, *ref_dispatcher);
@@ -350,7 +357,7 @@ class EngineEquivalenceTest : public ::testing::Test {
       // event merge, surge multipliers, sign-on/off lifecycle — completely
       // dormant: every aggregate stays bit-identical to the monolith.
       ScenarioScript empty_script;
-      auto scripted_dispatcher = MakeDispatcherByName(name, /*seed=*/5);
+      auto scripted_dispatcher = MakeSeeded(name);
       Simulator scripted(cfg, workload_, gen_->grid(), cost_, forecast);
       SimResult got_scripted =
           scripted.Run(*scripted_dispatcher, empty_script);

@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
-#include "dispatch/dispatchers.h"
+#include "api/dispatcher_registry.h"
 #include "geo/travel.h"
 #include "queueing/birth_death.h"
+#include "registry_test_helpers.h"
 #include "sim/engine.h"
 #include "workload/generator.h"
 
@@ -123,7 +127,7 @@ class DispatcherSweepTest : public ::testing::TestWithParam<std::string> {
   }
 
   static std::unique_ptr<Dispatcher> Make(const std::string& name) {
-    return MakeDispatcherByName(name, /*seed=*/9);
+    return test::MakeSeeded(name, /*seed=*/9);
   }
 
   static SimResult Run(const std::string& name) {
@@ -171,9 +175,11 @@ TEST_P(DispatcherSweepTest, BatchTimeBounded) {
   EXPECT_LT(r.batch_seconds.max(), 2.0);  // the paper's feasibility bar
 }
 
+// Every registered dispatcher that runs under the standard config (the
+// registry's trait filters UPPER) — a newly registered approach joins the
+// sweep automatically.
 INSTANTIATE_TEST_SUITE_P(AllApproaches, DispatcherSweepTest,
-                         ::testing::Values("RAND", "NEAR", "LTG", "IRG", "LS",
-                                           "SHORT", "POLAR"),
+                         ::testing::ValuesIn(test::RosterWithoutZeroPickup()),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            return info.param;
                          });

@@ -11,10 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "api/dispatcher_registry.h"
 #include "dispatch/dispatchers.h"
 #include "geo/travel.h"
 #include "prediction/forecast.h"
 #include "prediction/predictor.h"
+#include "registry_test_helpers.h"
 #include "scenario/generator.h"
 #include "scenario/script.h"
 #include "sim/engine.h"
@@ -23,8 +25,8 @@
 namespace mrvd {
 namespace {
 
-constexpr const char* kRoster[] = {"RAND", "NEAR", "LTG",   "POLAR",
-                                   "IRG",  "LS",   "SHORT", "UPPER"};
+using test::FullRoster;
+using test::MakeSeeded;
 
 SimConfig ScenarioConfig() {
   SimConfig cfg;
@@ -127,18 +129,20 @@ TEST_F(ScenarioEngineTest, SignedOffDriversNeverReceiveAssignments) {
     script.SignOff(off_at, id).SignOn(on_at, id);
   }
 
-  for (const char* name : kRoster) {
+  for (const std::string& name : FullRoster()) {
     SimConfig cfg = ScenarioConfig();
-    if (std::string(name) == "UPPER") cfg.zero_pickup_travel = true;
+    if (DispatcherRegistry::Global().RequiresZeroPickupTravel(name)) {
+      cfg.zero_pickup_travel = true;
+    }
     for (int threads : {1, 4}) {
       cfg.num_threads = threads;
-      auto dispatcher = MakeDispatcherByName(name, /*seed=*/5);
+      auto dispatcher = MakeSeeded(name, /*seed=*/5);
       ASSERT_NE(dispatcher, nullptr);
       Simulator sim(cfg, workload_, gen_->grid(), cost_, nullptr);
       AssignmentRecorder rec;
       SimResult r = sim.Run(*dispatcher, script, &rec);
       const std::string label =
-          std::string(name) + " @" + std::to_string(threads);
+          name + " @" + std::to_string(threads);
 
       ASSERT_GT(r.served_orders, 0) << label;
       EXPECT_EQ(r.driver_sign_offs, num_off) << label;
@@ -306,7 +310,7 @@ TEST_F(ScenarioEngineTest, TwoShiftSurgeCancellationDayEndToEnd) {
   const int n = static_cast<int>(workload_.drivers.size());
   for (const char* name : {"IRG", "SHORT"}) {
     SimConfig cfg = ScenarioConfig();
-    auto dispatcher = MakeDispatcherByName(name, /*seed=*/5);
+    auto dispatcher = MakeSeeded(name, /*seed=*/5);
     Simulator sim(cfg, workload_, gen_->grid(), cost_, nullptr);
     AssignmentRecorder rec;
     SimResult r = sim.Run(*dispatcher, script, &rec);

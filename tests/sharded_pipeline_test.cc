@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "api/dispatcher_registry.h"
 #include "dispatch/dispatchers.h"
 #include "dispatch/pipeline.h"
+#include "registry_test_helpers.h"
 #include "geo/region_partitioner.h"
 #include "geo/travel.h"
 #include "sim/batch.h"
@@ -170,16 +174,20 @@ TEST_F(ShardedPipelineTest, CandidatePairsIdenticalUnderSharding) {
   }
 }
 
+using test::MakeSeeded;  // registry-built, canonical test seed by default
+
 TEST_F(ShardedPipelineTest, AllDispatchersBitIdenticalAcrossThreadCounts) {
-  const std::vector<std::string> names = {"IRG", "LS",    "SHORT", "NEAR",
-                                          "LTG", "POLAR", "RAND"};
+  // Every registered dispatcher that is meaningful on a raw batch (UPPER's
+  // zero-pickup trait only applies through the engine) — straight from the
+  // registry, so a newly registered approach joins the check automatically.
+  const std::vector<std::string> names = test::RosterWithoutZeroPickup();
   for (uint64_t seed : {7u, 20190417u}) {
     for (CandidateMode mode :
          {CandidateMode::kRingExpand, CandidateMode::kRegionLocal}) {
       auto serial_ctx = MakeBatch(seed, 120, 90, mode);
       auto serial_results = std::vector<std::vector<Assignment>>();
       for (const auto& name : names) {
-        auto d = MakeDispatcherByName(name, /*seed=*/5);
+        auto d = MakeSeeded(name);
         ASSERT_NE(d, nullptr) << name;
         serial_results.push_back(DispatchOnce(*d, *serial_ctx));
       }
@@ -191,7 +199,7 @@ TEST_F(ShardedPipelineTest, AllDispatchersBitIdenticalAcrossThreadCounts) {
         auto sharded_ctx = MakeBatch(seed, 120, 90, mode);
         sharded_ctx->SetExecution(&exec);
         for (size_t n = 0; n < names.size(); ++n) {
-          auto d = MakeDispatcherByName(names[n], /*seed=*/5);
+          auto d = MakeSeeded(names[n]);
           auto got = DispatchOnce(*d, *sharded_ctx);
           EXPECT_TRUE(SameAssignments(serial_results[n], got))
               << names[n] << " diverged at " << threads << " threads, seed "
@@ -242,8 +250,8 @@ TEST(ShardedEngineTest, FullDayRunMatchesSerialExactly) {
   Simulator sharded_sim(sharded_cfg, workload, gen.grid(), cost, nullptr);
 
   for (const char* name : {"IRG", "LS", "SHORT"}) {
-    auto d1 = MakeDispatcherByName(name);
-    auto d2 = MakeDispatcherByName(name);
+    auto d1 = MakeSeeded(name);
+    auto d2 = MakeSeeded(name);
     SimResult a = serial_sim.Run(*d1);
     SimResult b = sharded_sim.Run(*d2);
     EXPECT_EQ(a.served_orders, b.served_orders) << name;
