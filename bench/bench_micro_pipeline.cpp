@@ -17,7 +17,12 @@
 // The engine phase and the replication sweep run through the experiment
 // API (SimulationBuilder + ExperimentRunner), so the bench doubles as an
 // at-scale exercise of that layer; the "experiment_runner" series times an
-// N-replication sweep at runner threads {1, 4} against serial.
+// N-replication sweep at runner threads {1, 4} against serial. The same
+// sweep is then routed through the campaign layer (CampaignRunner over a
+// WorkloadCatalog spec, artifacts in a scratch dir) so the grid overhead —
+// catalog build, content keys, artifact writes, manifest — is on the perf
+// record, including an all-loaded resume timing; campaign cells must stay
+// bit-identical to the ExperimentRunner serial baseline.
 //
 // Scale knobs (env):
 //   MRVD_BENCH_RIDERS         riders in the batch        (default 1200)
@@ -28,15 +33,19 @@
 //   MRVD_BENCH_ENGINE_DRIVERS engine-phase fleet size    (default 150)
 //   MRVD_BENCH_ENGINE_HOURS   engine-phase horizon hours (default 2)
 //   MRVD_BENCH_SWEEP_REPS     replication-sweep size     (default 6)
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "api/api.h"
+#include "campaign/campaign.h"
 #include "dispatch/dispatchers.h"
 #include "geo/region_partitioner.h"
 #include "geo/travel.h"
@@ -380,6 +389,101 @@ int Main() {
     }
   }
 
+  // ---- Campaign phase: the identical replication sweep expressed as a
+  // one-workload campaign grid (RAND x seeds) through CampaignRunner, so
+  // the grid layer's overhead — catalog Simulation build, key hashing,
+  // per-run artifact writes, manifest — lands on the perf record next to
+  // the bare ExperimentRunner numbers. A final Resume() times the
+  // all-loaded path (pure artifact reads, no simulation).
+  struct CampaignRecord {
+    std::string mode;  ///< "run@1", "run@4", "resume"
+    double wall_seconds;
+    int64_t executed;
+    int64_t loaded;
+    bool identical;
+  };
+  CampaignSpec campaign_spec;
+  campaign_spec.name = "bench_micro_pipeline";
+  campaign_spec.workloads = {
+      "nyc:orders=" + std::to_string(engine_orders) +
+      ",drivers=" + std::to_string(engine_drivers) +
+      ",grid_rows=16,grid_cols=16,oracle=0,speed_mps=7"
+      ",batch_interval=5,horizon_hours=1"};
+  campaign_spec.dispatchers = {"RAND"};
+  for (int i = 0; i < sweep_reps; ++i) {
+    campaign_spec.seeds.push_back(static_cast<uint64_t>(i + 1));
+  }
+  // PID-suffixed scratch dir: concurrent bench invocations (parallel CI
+  // jobs on one box) must not remove_all each other's in-flight artifacts.
+  const std::string campaign_dir =
+      (std::filesystem::temp_directory_path() /
+       ("mrvd_bench_campaign_" + std::to_string(getpid())))
+          .string();
+
+  std::printf("\ncampaign phase: same sweep through the campaign layer\n");
+  std::printf("%8s %12s %9s %9s %10s\n", "mode", "wall-s", "executed",
+              "loaded", "identical");
+  std::vector<CampaignRecord> campaign_records;
+  auto check_campaign = [&](const char* mode, const CampaignReport& report,
+                            double wall) -> bool {
+    bool identical = report.failed == 0 &&
+                     report.cells.size() == sweep_serial.size();
+    for (size_t i = 0; identical && i < report.cells.size(); ++i) {
+      const CellOutcome& outcome = report.cells[i];
+      if (outcome.live.has_value()) {
+        identical = SameResult(sweep_serial[i].result, outcome.live->result);
+      } else {
+        // Loaded cells carry headline aggregates only; check those.
+        identical =
+            outcome.artifact.served == sweep_serial[i].result.served_orders &&
+            outcome.artifact.revenue == sweep_serial[i].result.total_revenue;
+      }
+    }
+    campaign_records.push_back({mode, wall, report.executed, report.loaded,
+                                identical});
+    std::printf("%8s %12.3f %9lld %9lld %10s\n", mode, wall,
+                (long long)report.executed, (long long)report.loaded,
+                identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr, "FATAL: campaign %s diverged from the serial "
+                           "sweep\n", mode);
+    }
+    return identical;
+  };
+  for (int campaign_threads : {1, 4}) {
+    std::filesystem::remove_all(campaign_dir);
+    CampaignRunner campaign_runner(campaign_spec, campaign_dir);
+    CampaignOptions campaign_options;
+    campaign_options.num_threads = campaign_threads;
+    Stopwatch campaign_watch;
+    StatusOr<CampaignReport> report = campaign_runner.Run(campaign_options);
+    double wall = campaign_watch.ElapsedSeconds();
+    if (!report.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::string mode = "run@" + std::to_string(campaign_threads);
+    if (!check_campaign(mode.c_str(), *report, wall)) return 1;
+  }
+  {
+    // Resume over the complete artifact dir: every cell loads, nothing runs.
+    CampaignRunner campaign_runner(campaign_spec, campaign_dir);
+    Stopwatch campaign_watch;
+    StatusOr<CampaignReport> report = campaign_runner.Resume();
+    double wall = campaign_watch.ElapsedSeconds();
+    if (!report.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    if (report->executed != 0) {
+      std::fprintf(stderr, "FATAL: resume re-executed %lld completed cells\n",
+                   (long long)report->executed);
+      return 1;
+    }
+    if (!check_campaign("resume", *report, wall)) return 1;
+  }
+  std::filesystem::remove_all(campaign_dir);
+
   const char* json_path = std::getenv("MRVD_BENCH_JSON");
   std::string path = json_path != nullptr ? json_path : "BENCH_pipeline.json";
   std::ofstream json(path);
@@ -432,6 +536,20 @@ int Main() {
     w.Key("runner_threads").Number(r.runner_threads);
     w.Key("wall_seconds").Number(r.wall_seconds);
     w.Key("speedup").Number(r.speedup);
+    w.Key("identical").Bool(r.identical);
+    w.EndObject();
+  }
+  w.EndArray();
+  // The same sweep through the campaign layer: wall-clock includes the
+  // catalog Simulation build and the artifact store (writes for run@N,
+  // reads for resume). Overhead = campaign run@1 vs runner_threads=1.
+  w.Key("campaign").BeginArray();
+  for (const CampaignRecord& r : campaign_records) {
+    w.BeginObject();
+    w.Key("mode").String(r.mode);
+    w.Key("wall_seconds").Number(r.wall_seconds);
+    w.Key("executed").Number(r.executed);
+    w.Key("loaded").Number(r.loaded);
     w.Key("identical").Bool(r.identical);
     w.EndObject();
   }

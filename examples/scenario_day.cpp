@@ -14,6 +14,7 @@
 // Usage:
 //   ./build/examples/scenario_day [orders_per_day] [num_drivers]
 #include <climits>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
   int drivers = 300;
   if (argc > 1) {
     StatusOr<double> v = ParseDouble(argv[1]);
-    if (!v.ok()) {
+    if (!v.ok() || !(*v > 0.0) || !std::isfinite(*v)) {
       std::fprintf(stderr, "bad orders_per_day '%s'\nusage: %s "
                    "[orders_per_day] [num_drivers]\n", argv[1], argv[0]);
       return 2;

@@ -176,25 +176,91 @@ StatusOr<ParsedDispatcherSpec> DispatcherRegistry::ParseSpec(
                                    "'");
   }
   if (colon == std::string_view::npos) return out;
-  for (std::string_view part : SplitString(rest.substr(colon + 1), ',')) {
-    size_t eq = part.find('=');
-    if (eq == std::string_view::npos) {
-      return Status::InvalidArgument(
-          "malformed parameter (expected key=value) in spec '" + spec + "'");
+  MRVD_RETURN_NOT_OK(ParseKeyValueList(rest.substr(colon + 1),
+                                       "spec '" + spec + "'", &out.params));
+  return out;
+}
+
+StatusOr<std::string> DispatcherRegistry::CanonicalizeSpec(
+    const std::string& spec) const {
+  StatusOr<ParsedDispatcherSpec> parsed = ParseSpec(spec);
+  if (!parsed.ok()) return parsed.status();
+  auto it = entries_.find(parsed->name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown dispatcher '" + parsed->name +
+                            "'; known dispatchers: " + RosterString());
+  }
+  const Entry& entry = it->second;
+
+  auto format_value = [](const DispatcherParam& decl,
+                         const std::string* raw) -> StatusOr<std::string> {
+    if (decl.type == DispatcherParam::Type::kInt64) {
+      int64_t value = static_cast<int64_t>(decl.default_value);
+      if (raw != nullptr) {
+        StatusOr<int64_t> v = ParseInt64(*raw);
+        if (!v.ok()) {
+          return Status::InvalidArgument("parameter '" + decl.name +
+                                         "': not an int64: '" + *raw + "'");
+        }
+        value = *v;
+      }
+      return std::to_string(value);
     }
-    std::string key(StripAsciiWhitespace(part.substr(0, eq)));
-    std::string value(StripAsciiWhitespace(part.substr(eq + 1)));
-    if (key.empty() || value.empty()) {
-      return Status::InvalidArgument(
-          "malformed parameter (expected key=value) in spec '" + spec + "'");
+    double value = decl.default_value;
+    if (raw != nullptr) {
+      StatusOr<double> v = ParseDouble(*raw);
+      if (!v.ok()) {
+        return Status::InvalidArgument("parameter '" + decl.name +
+                                       "': not a number: '" + *raw + "'");
+      }
+      value = *v;
     }
-    for (const auto& [seen, unused] : out.params) {
-      if (seen == key) {
-        return Status::InvalidArgument("duplicate parameter '" + key +
-                                       "' in spec '" + spec + "'");
+    return FormatDouble(value);
+  };
+
+  std::vector<std::pair<std::string, std::string>> canonical;
+  canonical.reserve(entry.params.size());
+  for (const DispatcherParam& decl : entry.params) {
+    const std::string* raw = nullptr;
+    for (const auto& [key, value] : parsed->params) {
+      if (key == decl.name) {
+        raw = &value;
+        break;
       }
     }
-    out.params.emplace_back(std::move(key), std::move(value));
+    StatusOr<std::string> value = format_value(decl, raw);
+    if (!value.ok()) {
+      return Status::InvalidArgument("dispatcher '" + parsed->name + "' " +
+                                     value.status().message());
+    }
+    canonical.emplace_back(decl.name, std::move(value).value());
+  }
+  // Unknown override keys fail with the declared list, mirroring Create's
+  // diagnostics (typed value validation already happened above).
+  for (const auto& [key, unused] : parsed->params) {
+    bool declared = false;
+    for (const DispatcherParam& decl : entry.params) {
+      if (decl.name == key) {
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) {
+      return Status::InvalidArgument(
+          "dispatcher '" + parsed->name + "' has no parameter '" + key + "'" +
+          (entry.params.empty()
+               ? "; it takes no parameters"
+               : "; declared parameters: " + DeclaredParamList(entry.params)));
+    }
+  }
+  std::sort(canonical.begin(), canonical.end());
+
+  std::string out = parsed->name;
+  for (size_t i = 0; i < canonical.size(); ++i) {
+    out += i == 0 ? ':' : ',';
+    out += canonical[i].first;
+    out += '=';
+    out += canonical[i].second;
   }
   return out;
 }

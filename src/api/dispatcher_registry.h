@@ -95,6 +95,15 @@ class DispatcherRegistry {
   /// Splits "NAME:key=value,..." without resolving the name (syntax-only).
   static StatusOr<ParsedDispatcherSpec> ParseSpec(const std::string& spec);
 
+  /// Validates `spec` and returns its canonical form: the name plus the
+  /// FULL resolved parameter list (declared defaults with the spec's
+  /// overrides applied), sorted by key, values re-formatted at the
+  /// declared type ("seed=07" -> "seed=7"). Numerically identical specs —
+  /// including ones relying on defaults ("RAND" vs "RAND:seed=1") — map to
+  /// one string; the campaign layer hashes this into content keys, so the
+  /// key tracks what the dispatcher actually runs with.
+  StatusOr<std::string> CanonicalizeSpec(const std::string& spec) const;
+
   bool Known(const std::string& name) const;
   bool HasParam(const std::string& name, const std::string& param) const;
   /// True for dispatchers that require SimConfig::zero_pickup_travel.

@@ -22,6 +22,67 @@ struct ResolvedRun {
   const ScenarioScript* scenario = nullptr;  ///< null = unscripted run
 };
 
+/// Resolves one spec against the registry and the simulation's defaults
+/// (dispatcher construction, config override + zero-pickup trait,
+/// replication-seed injection, scenario choice).
+StatusOr<ResolvedRun> ResolveRunSpec(const Simulation& simulation,
+                                     const RunSpec& spec) {
+  const DispatcherRegistry& registry = DispatcherRegistry::Global();
+  StatusOr<ParsedDispatcherSpec> parsed =
+      DispatcherRegistry::ParseSpec(spec.dispatcher);
+  if (!parsed.ok()) return parsed.status();
+  if (spec.replication_seed != 0 && registry.HasParam(parsed->name, "seed")) {
+    // Two's-complement int64 formatting keeps the full uint64 seed
+    // domain through the int64 spec parameter (as the legacy shim does);
+    // the factory's cast back to uint64 restores the exact bit pattern.
+    std::string seed_value =
+        std::to_string(static_cast<int64_t>(spec.replication_seed));
+    bool replaced = false;
+    for (auto& [key, value] : parsed->params) {
+      if (key == "seed") {
+        value = seed_value;
+        replaced = true;
+      }
+    }
+    if (!replaced) parsed->params.emplace_back("seed", seed_value);
+  }
+  StatusOr<std::unique_ptr<Dispatcher>> dispatcher =
+      registry.Create(parsed->name, parsed->params);
+  if (!dispatcher.ok()) return dispatcher.status();
+
+  ResolvedRun run;
+  run.spec = &spec;
+  run.config = spec.config.has_value() ? *spec.config : simulation.config();
+  if (registry.RequiresZeroPickupTravel(parsed->name)) {
+    run.config.zero_pickup_travel = true;
+  }
+  MRVD_RETURN_NOT_OK(run.config.Validate());
+  run.scenario = spec.use_scenario ? simulation.scenario() : nullptr;
+  run.dispatcher = std::move(dispatcher).value();
+  return run;
+}
+
+/// Executes a resolved run inline; runs are independent (own dispatcher and
+/// Simulator), so the same ResolvedRun gives the same RunResult on any
+/// thread of any pool.
+RunResult ExecuteResolved(const Simulation& simulation, ResolvedRun& run) {
+  Simulator simulator(run.config, simulation.workload(), simulation.grid(),
+                      simulation.travel_model(), simulation.forecast());
+  Stopwatch watch;
+  SimResult sim_result =
+      run.scenario != nullptr
+          ? simulator.Run(*run.dispatcher, *run.scenario, run.spec->observer)
+          : simulator.Run(*run.dispatcher, run.spec->observer);
+  RunResult out;
+  out.wall_seconds = watch.ElapsedSeconds();
+  out.label = run.spec->label.empty() ? run.spec->dispatcher : run.spec->label;
+  out.dispatcher = run.dispatcher->name();
+  out.spec = run.spec->dispatcher;
+  out.replication_seed = run.spec->replication_seed;
+  out.result = std::move(sim_result);
+  return out;
+}
+
 }  // namespace
 
 ExperimentRunner::ExperimentRunner(Simulation simulation, int num_threads)
@@ -31,46 +92,14 @@ ExperimentRunner::ExperimentRunner(Simulation simulation, int num_threads)
 
 StatusOr<std::vector<RunResult>> ExperimentRunner::RunAll(
     const std::vector<RunSpec>& specs) const {
-  const DispatcherRegistry& registry = DispatcherRegistry::Global();
-
   // Resolve every spec before any run starts: a typo in spec #7 must not
   // cost the wall-clock of specs #1-#6.
   std::vector<ResolvedRun> runs;
   runs.reserve(specs.size());
   for (const RunSpec& spec : specs) {
-    StatusOr<ParsedDispatcherSpec> parsed =
-        DispatcherRegistry::ParseSpec(spec.dispatcher);
-    if (!parsed.ok()) return parsed.status();
-    if (spec.replication_seed != 0 &&
-        registry.HasParam(parsed->name, "seed")) {
-      // Two's-complement int64 formatting keeps the full uint64 seed
-      // domain through the int64 spec parameter (as the legacy shim does);
-      // the factory's cast back to uint64 restores the exact bit pattern.
-      std::string seed_value =
-          std::to_string(static_cast<int64_t>(spec.replication_seed));
-      bool replaced = false;
-      for (auto& [key, value] : parsed->params) {
-        if (key == "seed") {
-          value = seed_value;
-          replaced = true;
-        }
-      }
-      if (!replaced) parsed->params.emplace_back("seed", seed_value);
-    }
-    StatusOr<std::unique_ptr<Dispatcher>> dispatcher =
-        registry.Create(parsed->name, parsed->params);
-    if (!dispatcher.ok()) return dispatcher.status();
-
-    ResolvedRun run;
-    run.spec = &spec;
-    run.config = spec.config.has_value() ? *spec.config : simulation_.config();
-    if (registry.RequiresZeroPickupTravel(parsed->name)) {
-      run.config.zero_pickup_travel = true;
-    }
-    MRVD_RETURN_NOT_OK(run.config.Validate());
-    run.scenario = spec.use_scenario ? simulation_.scenario() : nullptr;
-    run.dispatcher = std::move(dispatcher).value();
-    runs.push_back(std::move(run));
+    StatusOr<ResolvedRun> run = ResolveRunSpec(simulation_, spec);
+    if (!run.ok()) return run.status();
+    runs.push_back(std::move(run).value());
   }
 
   // Execute. Runs are independent — each worker gets its own Simulator and
@@ -79,24 +108,17 @@ StatusOr<std::vector<RunResult>> ExperimentRunner::RunAll(
   std::vector<RunResult> results(runs.size());
   ThreadPool pool(num_threads_);
   pool.ParallelFor(static_cast<int>(runs.size()), [&](int i) {
-    ResolvedRun& run = runs[static_cast<size_t>(i)];
-    Simulator simulator(run.config, simulation_.workload(), simulation_.grid(),
-                        simulation_.travel_model(), simulation_.forecast());
-    Stopwatch watch;
-    SimResult sim_result =
-        run.scenario != nullptr
-            ? simulator.Run(*run.dispatcher, *run.scenario, run.spec->observer)
-            : simulator.Run(*run.dispatcher, run.spec->observer);
-    RunResult& out = results[static_cast<size_t>(i)];
-    out.wall_seconds = watch.ElapsedSeconds();
-    out.label = run.spec->label.empty() ? run.spec->dispatcher
-                                        : run.spec->label;
-    out.dispatcher = run.dispatcher->name();
-    out.spec = run.spec->dispatcher;
-    out.replication_seed = run.spec->replication_seed;
-    out.result = std::move(sim_result);
+    results[static_cast<size_t>(i)] =
+        ExecuteResolved(simulation_, runs[static_cast<size_t>(i)]);
   });
   return results;
+}
+
+StatusOr<RunResult> ExperimentRunner::RunOne(const Simulation& simulation,
+                                             const RunSpec& spec) {
+  StatusOr<ResolvedRun> run = ResolveRunSpec(simulation, spec);
+  if (!run.ok()) return run.status();
+  return ExecuteResolved(simulation, *run);
 }
 
 void WriteRunResults(JsonWriter& writer,
@@ -139,10 +161,14 @@ std::string RunResultsToJson(const std::vector<RunResult>& results) {
 
 Status WriteRunResultsJsonFile(const std::string& path,
                                const std::vector<RunResult>& results) {
-  std::ofstream file(path);
-  file << RunResultsToJson(results);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) {
-    return Status::IoError("could not write run results to '" + path + "'");
+    return IoErrorFromErrno("could not open '" + path + "' for writing");
+  }
+  file << RunResultsToJson(results);
+  file.flush();
+  if (!file) {
+    return IoErrorFromErrno("could not write run results to '" + path + "'");
   }
   return Status::OK();
 }

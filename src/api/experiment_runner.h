@@ -90,6 +90,13 @@ class ExperimentRunner {
   StatusOr<std::vector<RunResult>> RunAll(
       const std::vector<RunSpec>& specs) const;
 
+  /// Resolves and executes one spec inline on the calling thread — the
+  /// exact single-run path RunAll's workers take, exposed so higher layers
+  /// (CampaignRunner) that schedule their own parallelism produce
+  /// bit-identical RunResults to a RunAll over the same specs.
+  static StatusOr<RunResult> RunOne(const Simulation& simulation,
+                                    const RunSpec& spec);
+
  private:
   Simulation simulation_;
   int num_threads_;

@@ -34,6 +34,14 @@ SimResult Simulation::Run(Dispatcher& dispatcher, SimObserver* observer) const {
                               : simulator.Run(dispatcher, observer);
 }
 
+Simulation Simulation::WithScenario(ScenarioScript script) const {
+  Simulation copy = *this;
+  copy.owned_scenario_ =
+      std::make_shared<const ScenarioScript>(std::move(script));
+  copy.scenario_ = copy.owned_scenario_.get();
+  return copy;
+}
+
 // ---------------------------------------------------------------------
 // SimulationBuilder
 

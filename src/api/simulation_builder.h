@@ -58,6 +58,12 @@ class Simulation {
   /// Runs a caller-constructed dispatcher over the same environment.
   SimResult Run(Dispatcher& dispatcher, SimObserver* observer = nullptr) const;
 
+  /// A copy of this simulation with `script` attached (shared ownership),
+  /// replacing any existing script. The campaign layer uses this to pair
+  /// one built workload with each scenario of a grid without re-running
+  /// the generator or re-deriving the forecast.
+  Simulation WithScenario(ScenarioScript script) const;
+
  private:
   friend class SimulationBuilder;
   friend class ExperimentRunner;

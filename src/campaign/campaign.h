@@ -1,0 +1,18 @@
+// Umbrella header for the campaign subsystem — multi-workload experiment
+// grids above the experiment API:
+//
+//   * WorkloadCatalog / ScenarioCatalog — named, lazily-built factories
+//   * CampaignSpec / ExpandGrid         — declarative grids, stable keys
+//   * ArtifactStore                     — content-addressed run artifacts
+//   * CampaignRunner                    — parallel execution, resume,
+//                                         per-group summaries
+//
+// Start with examples/campaign.cpp (the run/resume/summarize CLI);
+// ARCHITECTURE.md ("Campaign subsystem") explains how the layer sits above
+// the experiment API.
+#pragma once
+
+#include "campaign/artifact_store.h"    // IWYU pragma: export
+#include "campaign/campaign_runner.h"   // IWYU pragma: export
+#include "campaign/campaign_spec.h"     // IWYU pragma: export
+#include "campaign/workload_catalog.h"  // IWYU pragma: export

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -127,19 +128,24 @@ class ScenarioState {
 }  // namespace
 
 Status SimConfig::Validate() const {
-  if (!(batch_interval > 0.0)) {
+  // "Positive" means positive AND finite: ParseDouble accepts "inf", and an
+  // infinite horizon (or a batch interval of inf with a finite horizon)
+  // would hang the batch loop forever — exactly what Validate() exists to
+  // reject before the engine runs.
+  if (!(batch_interval > 0.0) || !std::isfinite(batch_interval)) {
     return Status::InvalidArgument(
-        "batch_interval (Δ) must be positive, got " +
+        "batch_interval (Δ) must be positive and finite, got " +
         std::to_string(batch_interval));
   }
-  if (!(window_seconds > 0.0)) {
+  if (!(window_seconds > 0.0) || !std::isfinite(window_seconds)) {
     return Status::InvalidArgument(
-        "window_seconds (t_c) must be positive, got " +
+        "window_seconds (t_c) must be positive and finite, got " +
         std::to_string(window_seconds));
   }
-  if (!(horizon_seconds > 0.0)) {
-    return Status::InvalidArgument("horizon_seconds must be positive, got " +
-                                   std::to_string(horizon_seconds));
+  if (!(horizon_seconds > 0.0) || !std::isfinite(horizon_seconds)) {
+    return Status::InvalidArgument(
+        "horizon_seconds must be positive and finite, got " +
+        std::to_string(horizon_seconds));
   }
   if (num_threads < 0) {
     return Status::InvalidArgument(
@@ -151,13 +157,13 @@ Status SimConfig::Validate() const {
         "num_shards must be >= 0 (0 = derive from threads), got " +
         std::to_string(num_shards));
   }
-  if (!(alpha > 0.0)) {
-    return Status::InvalidArgument("alpha (fee rate) must be positive, got " +
-                                   std::to_string(alpha));
+  if (!(alpha > 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument("alpha (fee rate) must be positive and "
+                                   "finite, got " + std::to_string(alpha));
   }
-  if (reneging_beta < 0.0) {
-    return Status::InvalidArgument("reneging_beta must be >= 0, got " +
-                                   std::to_string(reneging_beta));
+  if (!(reneging_beta >= 0.0) || !std::isfinite(reneging_beta)) {
+    return Status::InvalidArgument("reneging_beta must be >= 0 and finite, "
+                                   "got " + std::to_string(reneging_beta));
   }
   return Status::OK();
 }

@@ -54,6 +54,12 @@ double ErrorStats::RelativeRmsePct() const {
   return RealRmse() / mean_act * 100.0;
 }
 
+double MeanCiHalfWidth(const RunningStats& stats, double z) {
+  if (stats.count() < 2) return 0.0;
+  return z * std::sqrt(stats.sample_variance() /
+                       static_cast<double>(stats.count()));
+}
+
 double Rmse(const std::vector<double>& estimate,
             const std::vector<double>& actual) {
   assert(estimate.size() == actual.size());

@@ -57,4 +57,10 @@ class ErrorStats {
 double Rmse(const std::vector<double>& estimate,
             const std::vector<double>& actual);
 
+/// Half-width of the normal-approximation confidence interval for the mean
+/// of `stats` (z * s / sqrt(n) with the sample stddev; z = 1.96 for 95%).
+/// 0 for fewer than two observations — the campaign summaries report it
+/// alongside mean/stddev for replicated grid cells.
+double MeanCiHalfWidth(const RunningStats& stats, double z = 1.96);
+
 }  // namespace mrvd

@@ -1,0 +1,314 @@
+#include "util/json_reader.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace mrvd {
+
+namespace {
+
+Status NumberError(const std::string& raw, const char* want) {
+  return Status::InvalidArgument("JSON number '" + raw +
+                                 "' does not fit in " + want);
+}
+
+}  // namespace
+
+StatusOr<int64_t> JsonValue::Int64() const {
+  if (!is_number()) {
+    return Status::InvalidArgument("JSON value is not a number");
+  }
+  int64_t out = 0;
+  const char* begin = raw_number_.data();
+  const char* end = begin + raw_number_.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr != end) return NumberError(raw_number_, "int64");
+  return out;
+}
+
+StatusOr<uint64_t> JsonValue::Uint64() const {
+  if (!is_number()) {
+    return Status::InvalidArgument("JSON value is not a number");
+  }
+  uint64_t out = 0;
+  const char* begin = raw_number_.data();
+  const char* end = begin + raw_number_.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr != end) {
+    return NumberError(raw_number_, "uint64");
+  }
+  return out;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+StatusOr<double> JsonValue::GetDouble(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument("missing or non-numeric JSON member '" +
+                                   std::string(key) + "'");
+  }
+  return v->number();
+}
+
+StatusOr<int64_t> JsonValue::GetInt64(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument("missing or non-numeric JSON member '" +
+                                   std::string(key) + "'");
+  }
+  return v->Int64();
+}
+
+StatusOr<uint64_t> JsonValue::GetUint64(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument("missing or non-numeric JSON member '" +
+                                   std::string(key) + "'");
+  }
+  return v->Uint64();
+}
+
+StatusOr<std::string> JsonValue::GetString(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument("missing or non-string JSON member '" +
+                                   std::string(key) + "'");
+  }
+  return v->string_value();
+}
+
+/// Recursive-descent parser over the input view. Depth is bounded to keep a
+/// hostile (or corrupted) artifact from overflowing the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue root;
+    MRVD_RETURN_NOT_OK(ParseValue(&root, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("expected '" + std::string(literal) + "'");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+        MRVD_RETURN_NOT_OK(ConsumeLiteral("true"));
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = true;
+        return Status::OK();
+      case 'f':
+        MRVD_RETURN_NOT_OK(ConsumeLiteral("false"));
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = false;
+        return Status::OK();
+      case 'n':
+        MRVD_RETURN_NOT_OK(ConsumeLiteral("null"));
+        out->type_ = JsonValue::Type::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->type_ = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      MRVD_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      MRVD_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->type_ = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      MRVD_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->array_.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad hex digit in \\u escape");
+          }
+          // Encode the code point as UTF-8. Surrogate pairs are not
+          // combined (the writer never emits them — it only escapes
+          // control bytes); lone surrogates round-trip as-is.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                     value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      pos_ = start;
+      return Error("malformed number '" + std::string(token) + "'");
+    }
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = value;
+    out->raw_number_.assign(token);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+StatusOr<JsonValue> ReadJsonFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return IoErrorFromErrno("could not open '" + path + "' for reading");
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  if (file.bad()) {
+    return IoErrorFromErrno("could not read '" + path + "'");
+  }
+  return ParseJson(content.str());
+}
+
+}  // namespace mrvd

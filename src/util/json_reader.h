@@ -1,0 +1,87 @@
+// Minimal JSON parser — the read side of util/json_writer, added for the
+// campaign subsystem's resumable artifact store: per-run RunResult JSON and
+// campaign manifests are parsed back so CampaignRunner::Resume() can skip
+// completed runs. Accepts any RFC-8259 document (it must read artifacts
+// from older writers, not just what the current JsonWriter emits), with one
+// deliberate extension: bare `null` is what JsonWriter emits for non-finite
+// doubles, and it parses back as kNull.
+//
+// Numbers keep their raw token alongside the parsed double, so int64/uint64
+// values (e.g. replication seeds above 2^53) round-trip at full fidelity
+// and doubles printed with shortest-round-trip formatting parse back
+// bit-exact — the property the resume path's byte-identical manifests
+// depend on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mrvd {
+
+/// One parsed JSON value. Objects preserve member order (arrays obviously
+/// do); lookups are linear — artifact documents are small.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Requires is_bool().
+  bool bool_value() const { return bool_; }
+  /// Requires is_number(): the value as a double (shortest-round-trip
+  /// tokens parse back to the exact double the writer formatted).
+  double number() const { return number_; }
+  /// Requires is_number(): re-parses the raw token as int64/uint64, so
+  /// integers beyond 2^53 are not squeezed through the double.
+  StatusOr<int64_t> Int64() const;
+  StatusOr<uint64_t> Uint64() const;
+  /// Requires is_string(): the unescaped text.
+  const std::string& string_value() const { return string_; }
+
+  /// Requires is_array().
+  const std::vector<JsonValue>& array() const { return array_; }
+  /// Requires is_object(): members in document order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// Object member lookup (first match); null if absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // ---- Typed member accessors for flat artifact records: Get<T> fails
+  // with InvalidArgument naming the key when it is missing or mistyped.
+  StatusOr<double> GetDouble(std::string_view key) const;
+  StatusOr<int64_t> GetInt64(std::string_view key) const;
+  StatusOr<uint64_t> GetUint64(std::string_view key) const;
+  StatusOr<std::string> GetString(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string raw_number_;  ///< verbatim token for exact integer reads
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Errors carry the byte offset.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses `path`; open/read failures carry errno context.
+StatusOr<JsonValue> ReadJsonFile(const std::string& path);
+
+}  // namespace mrvd

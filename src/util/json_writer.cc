@@ -1,6 +1,7 @@
 #include "util/json_writer.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace mrvd {
@@ -64,7 +65,13 @@ JsonWriter& JsonWriter::Number(double value) {
   BeforeValue();
   // Shortest round-trip formatting: artifacts compare bit-exact across
   // runs/machines instead of being rounded to the stream's (caller-set)
-  // precision. Our values are always finite.
+  // precision. JSON has no inf/nan spelling — to_chars would emit "inf",
+  // which no parser (including util/json_reader) accepts — so non-finite
+  // values become null.
+  if (!std::isfinite(value)) {
+    os_ << "null";
+    return *this;
+  }
   char buf[32];
   auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
   if (ec == std::errc()) {
@@ -90,6 +97,12 @@ JsonWriter& JsonWriter::Number(uint64_t value) {
 JsonWriter& JsonWriter::Bool(bool value) {
   BeforeValue();
   os_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  os_ << "null";
   return *this;
 }
 

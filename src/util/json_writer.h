@@ -35,11 +35,15 @@ class JsonWriter {
   JsonWriter& Key(std::string_view key);
 
   JsonWriter& String(std::string_view value);
+  /// Finite doubles use shortest round-trip formatting; non-finite values
+  /// (inf/nan have no JSON spelling) are emitted as `null`, which
+  /// util/json_reader parses back as kNull.
   JsonWriter& Number(double value);
   JsonWriter& Number(int64_t value);
   JsonWriter& Number(int value) { return Number(static_cast<int64_t>(value)); }
   JsonWriter& Number(uint64_t value);
   JsonWriter& Bool(bool value);
+  JsonWriter& Null();
 
  private:
   /// Emits the comma/newline/indent that precedes a new value or key.

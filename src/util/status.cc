@@ -1,5 +1,8 @@
 #include "util/status.h"
 
+#include <cerrno>
+#include <cstring>
+
 namespace mrvd {
 
 const char* StatusCodeName(StatusCode code) {
@@ -22,6 +25,13 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
   }
   return "Unknown";
+}
+
+Status IoErrorFromErrno(const std::string& context) {
+  const int err = errno;
+  if (err == 0) return Status::IoError(context);
+  return Status::IoError(context + ": " + std::strerror(err) + " (errno " +
+                         std::to_string(err) + ")");
 }
 
 std::string Status::ToString() const {

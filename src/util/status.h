@@ -77,6 +77,12 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
+/// IoError carrying the calling thread's current errno as strerror text:
+/// "<context>: <strerror(errno)> (errno <n>)". Call immediately after the
+/// failing operation, before anything else can clobber errno; with errno 0
+/// (streams don't always preserve it) the suffix is dropped.
+Status IoErrorFromErrno(const std::string& context);
+
 /// Either a value of type T or an error Status. Mirrors arrow::Result /
 /// absl::StatusOr with the subset of API this project needs.
 template <typename T>

@@ -1,6 +1,7 @@
 #include "util/strings.h"
 
 #include <cerrno>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +81,38 @@ std::string StrFormat(const char* fmt, ...) {
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return ec == std::errc() ? std::string(buf, ptr) : std::to_string(value);
+}
+
+Status ParseKeyValueList(
+    std::string_view list, const std::string& context,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  for (std::string_view part : SplitString(list, ',')) {
+    size_t eq = part.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "malformed parameter (expected key=value) in " + context);
+    }
+    std::string key(StripAsciiWhitespace(part.substr(0, eq)));
+    std::string value(StripAsciiWhitespace(part.substr(eq + 1)));
+    if (key.empty() || value.empty()) {
+      return Status::InvalidArgument(
+          "malformed parameter (expected key=value) in " + context);
+    }
+    for (const auto& [seen, unused] : *out) {
+      if (seen == key) {
+        return Status::InvalidArgument("duplicate parameter '" + key +
+                                       "' in " + context);
+      }
+    }
+    out->emplace_back(std::move(key), std::move(value));
+  }
+  return Status::OK();
 }
 
 }  // namespace mrvd

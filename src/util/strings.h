@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -19,10 +20,27 @@ std::string_view StripAsciiWhitespace(std::string_view s);
 StatusOr<double> ParseDouble(std::string_view s);
 StatusOr<int64_t> ParseInt64(std::string_view s);
 
+/// Shortest round-trip formatting (std::to_chars): FormatDouble(x) parses
+/// back to exactly x. THE formatter for every canonical spec form the
+/// campaign content keys hash — one implementation, so numeric spelling
+/// can never drift between the dispatcher/catalog/config-delta
+/// canonicalizers and fork keys.
+std::string FormatDouble(double value);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a "key=value,key=value" list into whitespace-trimmed pairs.
+/// Rejects entries without '=', empty keys/values, and duplicate keys.
+/// `context` names the enclosing spec in error messages (e.g. "spec 'LS:…'").
+/// The one spec-string grammar shared by dispatcher specs, catalog specs
+/// and campaign config deltas — one parser, so their behaviour (and the
+/// content keys hashed from the canonical forms) can never drift apart.
+Status ParseKeyValueList(
+    std::string_view list, const std::string& context,
+    std::vector<std::pair<std::string, std::string>>* out);
 
 }  // namespace mrvd

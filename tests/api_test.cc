@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -40,6 +41,36 @@ TEST(SimConfigValidateTest, RejectsNonPositiveCoreIntervals) {
   EXPECT_FALSE(cfg.Validate().ok());
   EXPECT_NE(cfg.Validate().message().find("horizon_seconds"),
             std::string::npos);
+}
+
+TEST(SimConfigValidateTest, RejectsNonFiniteValues) {
+  // ParseDouble accepts "inf"/"nan", so a config delta can smuggle them
+  // in; an infinite horizon (or batch interval) would hang the batch loop
+  // forever and NaN comparisons silently misbehave — Validate() is the
+  // gate.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (double bad : {inf, nan}) {
+    SimConfig cfg;
+    cfg.horizon_seconds = bad;
+    EXPECT_FALSE(cfg.Validate().ok()) << bad;
+
+    cfg = SimConfig{};
+    cfg.batch_interval = bad;
+    EXPECT_FALSE(cfg.Validate().ok()) << bad;
+
+    cfg = SimConfig{};
+    cfg.window_seconds = bad;
+    EXPECT_FALSE(cfg.Validate().ok()) << bad;
+
+    cfg = SimConfig{};
+    cfg.alpha = bad;
+    EXPECT_FALSE(cfg.Validate().ok()) << bad;
+
+    cfg = SimConfig{};
+    cfg.reneging_beta = bad;
+    EXPECT_FALSE(cfg.Validate().ok()) << bad;
+  }
 }
 
 TEST(SimConfigValidateTest, RejectsNegativeParallelism) {

@@ -65,6 +65,96 @@ TEST(EventStreamTest, DrainsInTimeOrderWithStableTies) {
   }
 }
 
+TEST(EventStreamTest, EmptyStreamsAreExhaustedFromTheStart) {
+  // Default-constructed (no script) and empty-script streams behave
+  // identically: nothing is ever due, Exhausted() from the first call.
+  EventStream no_script;
+  EXPECT_TRUE(no_script.Exhausted());
+  EXPECT_EQ(no_script.PeekDue(1e12), nullptr);
+
+  ScenarioScript empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EventStream stream(empty);
+  EXPECT_TRUE(stream.Exhausted());
+  EXPECT_EQ(stream.PeekDue(0.0), nullptr);
+  EXPECT_EQ(stream.PeekDue(1e12), nullptr);
+}
+
+TEST(EventStreamTest, SingleEventStream) {
+  ScenarioScript script;
+  script.SignOff(600.0, 42);
+  EventStream stream(script);
+
+  EXPECT_FALSE(stream.Exhausted());
+  EXPECT_EQ(stream.PeekDue(599.999), nullptr);  // not due yet
+  const ScenarioEvent* due = stream.PeekDue(600.0);  // due exactly at t
+  ASSERT_NE(due, nullptr);
+  EXPECT_EQ(due->type, ScenarioEventType::kDriverSignOff);
+  EXPECT_EQ(due->driver_id, 42);
+  // Peek does not consume: the same event stays due until Pop().
+  EXPECT_EQ(stream.PeekDue(700.0), due);
+  stream.Pop();
+  EXPECT_TRUE(stream.Exhausted());
+  EXPECT_EQ(stream.PeekDue(700.0), nullptr);
+}
+
+TEST(EventStreamTest, LargeSameTimestampBlockKeepsInsertionOrder) {
+  // std::sort would be allowed to shuffle a same-timestamp block;
+  // EventStream promises stability (insertion order breaks ties), which
+  // the engine relies on for deterministic same-batch event application.
+  // 256 elements is far past any introsort small-buffer special case.
+  ScenarioScript script;
+  script.SignOn(100.0, -1);  // earlier neighbour
+  for (DriverId id = 0; id < 256; ++id) {
+    if (id % 3 == 0) {
+      script.SignOff(500.0, id);
+    } else {
+      script.SignOn(500.0, id);
+    }
+  }
+  script.Cancel(900.0, 7);  // later neighbour
+
+  EventStream stream(script);
+  const ScenarioEvent* first = stream.PeekDue(1000.0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->time, 100.0);
+  stream.Pop();
+  for (DriverId id = 0; id < 256; ++id) {
+    const ScenarioEvent* e = stream.PeekDue(1000.0);
+    ASSERT_NE(e, nullptr) << id;
+    EXPECT_EQ(e->time, 500.0) << id;
+    EXPECT_EQ(e->driver_id, id) << id;
+    EXPECT_EQ(e->type, id % 3 == 0 ? ScenarioEventType::kDriverSignOff
+                                   : ScenarioEventType::kDriverSignOn)
+        << id;
+    stream.Pop();
+  }
+  const ScenarioEvent* last = stream.PeekDue(1000.0);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->type, ScenarioEventType::kRiderCancel);
+  stream.Pop();
+  EXPECT_TRUE(stream.Exhausted());
+}
+
+TEST(ScenarioScriptTest, KeepsInsertionOrderAndSurgeIndexing) {
+  // The script itself is order-preserving (events() is insertion order;
+  // only EventStream time-sorts), and surge_index addresses surges().
+  ScenarioScript script;
+  script.Cancel(900.0, 3).SignOn(100.0, 1);
+  script.Surge({50.0, 60.0, 2.0, {4, 5}});
+  const auto& events = script.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].type, ScenarioEventType::kRiderCancel);
+  EXPECT_EQ(events[1].type, ScenarioEventType::kDriverSignOn);
+  EXPECT_EQ(events[2].type, ScenarioEventType::kSurgeBegin);
+  EXPECT_EQ(events[3].type, ScenarioEventType::kSurgeEnd);
+  ASSERT_EQ(script.surges().size(), 1u);
+  EXPECT_EQ(events[2].surge_index, 0);
+  EXPECT_EQ(events[3].surge_index, 0);
+  EXPECT_EQ(script.surges()[0].regions, (std::vector<RegionId>{4, 5}));
+}
+
 TEST(EventStreamTest, DegenerateSurgeWindowsAreIgnored) {
   ScenarioScript script;
   script.Surge({500.0, 500.0, 2.0, {}});   // empty interval

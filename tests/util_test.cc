@@ -1,10 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <functional>
+#include <limits>
+#include <sstream>
 
 #include "util/csv.h"
 #include "util/histogram.h"
+#include "util/json_reader.h"
+#include "util/json_writer.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -294,6 +301,180 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_EQ(a.bucket_count(1), 1);
   EXPECT_EQ(a.bucket_count(8), 1);
   EXPECT_DOUBLE_EQ(a.max(), 8.5);
+}
+
+// ------------------------------------------- JsonWriter <-> JsonReader
+
+std::string WriteJson(const std::function<void(JsonWriter&)>& fn) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  fn(w);
+  return os.str();
+}
+
+TEST(JsonRoundTripTest, StringEscaping) {
+  // Quotes, backslashes, named control escapes, and every raw control byte
+  // (emitted as \u00XX) must parse back to the original bytes.
+  std::string nasty = "quote\" backslash\\ newline\n tab\t cr\r slash/";
+  for (char c = 1; c < 0x20; ++c) nasty.push_back(c);
+  nasty += "\xC3\xA9";  // UTF-8 passthrough (é)
+
+  std::string doc = WriteJson([&](JsonWriter& w) {
+    w.BeginObject();
+    w.Key(nasty).String(nasty);
+    w.EndObject();
+  });
+  StatusOr<JsonValue> parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\ndoc: " << doc;
+  ASSERT_EQ(parsed->members().size(), 1u);
+  EXPECT_EQ(parsed->members()[0].first, nasty);
+  EXPECT_EQ(parsed->members()[0].second.string_value(), nasty);
+}
+
+TEST(JsonRoundTripTest, ReaderUnescapesAllStandardEscapes) {
+  StatusOr<JsonValue> v =
+      ParseJson(R"("a\"b\\c\/d\be\ff\ng\rh\tiAé")");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->string_value(), "a\"b\\c/d\be\ff\ng\rh\tiA\xC3\xA9");
+}
+
+TEST(JsonRoundTripTest, NonFiniteDoublesBecomeNull) {
+  // JSON has no inf/nan spelling; the writer must not emit the to_chars
+  // "inf"/"nan" tokens (no parser accepts them) — it writes null instead.
+  std::string doc = WriteJson([](JsonWriter& w) {
+    w.BeginArray();
+    w.Number(std::numeric_limits<double>::infinity());
+    w.Number(-std::numeric_limits<double>::infinity());
+    w.Number(std::numeric_limits<double>::quiet_NaN());
+    w.Number(1.5);
+    w.EndArray();
+  });
+  EXPECT_EQ(doc.find("inf"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find("nan"), std::string::npos) << doc;
+  StatusOr<JsonValue> parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\ndoc: " << doc;
+  ASSERT_EQ(parsed->array().size(), 4u);
+  EXPECT_TRUE(parsed->array()[0].is_null());
+  EXPECT_TRUE(parsed->array()[1].is_null());
+  EXPECT_TRUE(parsed->array()[2].is_null());
+  EXPECT_EQ(parsed->array()[3].number(), 1.5);
+}
+
+TEST(JsonRoundTripTest, DoublesRoundTripBitExact) {
+  // Shortest round-trip formatting + from_chars parsing: the artifact
+  // store's byte-identical resumed manifests hang on this.
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           -2.5e-10,
+                           1e300,
+                           5e-324,  // min subnormal
+                           123456789.123456789,
+                           -0.0};
+  for (double want : values) {
+    std::string doc = WriteJson([&](JsonWriter& w) { w.Number(want); });
+    StatusOr<JsonValue> parsed = ParseJson(doc);
+    ASSERT_TRUE(parsed.ok()) << doc;
+    double got = parsed->number();
+    EXPECT_EQ(std::memcmp(&want, &got, sizeof want), 0) << doc;
+  }
+}
+
+TEST(JsonRoundTripTest, IntegersKeepFullFidelity) {
+  std::string doc = WriteJson([](JsonWriter& w) {
+    w.BeginArray();
+    w.Number(std::numeric_limits<int64_t>::min());
+    w.Number(std::numeric_limits<int64_t>::max());
+    w.Number(std::numeric_limits<uint64_t>::max());
+    w.Number(int64_t{9007199254740993});  // 2^53 + 1: breaks via double
+    w.EndArray();
+  });
+  StatusOr<JsonValue> parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& a = parsed->array();
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(*a[0].Int64(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(*a[1].Int64(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(*a[2].Uint64(), std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(*a[3].Int64(), 9007199254740993);
+  EXPECT_FALSE(a[2].Int64().ok());  // uint64 max does not fit int64
+}
+
+TEST(JsonRoundTripTest, NestedStructureAndTypedAccessors) {
+  std::string doc = WriteJson([](JsonWriter& w) {
+    w.BeginObject();
+    w.Key("name").String("demo");
+    w.Key("count").Number(3);
+    w.Key("rate").Number(0.25);
+    w.Key("ok").Bool(true);
+    w.Key("nothing").Null();
+    w.Key("empty_obj").BeginObject();
+    w.EndObject();
+    w.Key("rows").BeginArray();
+    w.BeginArray();
+    w.EndArray();
+    w.BeginObject();
+    w.Key("x").Number(1);
+    w.EndObject();
+    w.EndArray();
+    w.EndObject();
+  });
+  StatusOr<JsonValue> parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\ndoc: " << doc;
+  EXPECT_EQ(*parsed->GetString("name"), "demo");
+  EXPECT_EQ(*parsed->GetInt64("count"), 3);
+  EXPECT_EQ(*parsed->GetDouble("rate"), 0.25);
+  EXPECT_TRUE(parsed->Find("ok")->bool_value());
+  EXPECT_TRUE(parsed->Find("nothing")->is_null());
+  EXPECT_TRUE(parsed->Find("empty_obj")->members().empty());
+  const auto& rows = parsed->Find("rows")->array();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].array().empty());
+  EXPECT_EQ(*rows[1].GetInt64("x"), 1);
+
+  EXPECT_FALSE(parsed->GetString("count").ok());   // type mismatch
+  EXPECT_FALSE(parsed->GetInt64("missing").ok());  // absent key
+}
+
+TEST(JsonReaderTest, RejectsMalformedDocuments) {
+  for (const char* bad : {
+           "",
+           "{",
+           "[1, 2",
+           "{\"a\" 1}",
+           "{\"a\": 1,}x",
+           "[1] trailing",
+           "\"unterminated",
+           "\"bad \\q escape\"",
+           "\"truncated \\u00",
+           "nul",
+           "12..5",
+           "\"raw \t tab\"",
+       }) {
+    StatusOr<JsonValue> v = ParseJson(bad);
+    EXPECT_FALSE(v.ok()) << "accepted: " << bad;
+    if (!v.ok()) {
+      EXPECT_NE(v.status().message().find("JSON parse error"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(JsonReaderTest, MissingFileCarriesErrnoContext) {
+  StatusOr<JsonValue> v = ReadJsonFile("/nonexistent/definitely_missing.json");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kIoError);
+  EXPECT_NE(v.status().message().find("errno"), std::string::npos);
+}
+
+TEST(StatusTest, IoErrorFromErrnoCarriesStrerrorText) {
+  errno = ENOENT;
+  Status st = IoErrorFromErrno("open 'x'");
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("open 'x'"), std::string::npos);
+  EXPECT_NE(st.message().find("No such file"), std::string::npos);
+  EXPECT_NE(st.message().find("errno 2"), std::string::npos);
+  errno = 0;
+  EXPECT_EQ(IoErrorFromErrno("ctx").message(), "ctx");
 }
 
 }  // namespace
