@@ -38,10 +38,13 @@ void RegisterBuiltins(DispatcherRegistry* r) {
   must(r->Register(
       "LS",
       {{"max_sweeps", DispatcherParam::Type::kInt64, 16.0,
-        "local-search pass cap (L_max)"}},
+        "local-search pass cap (L_max)"},
+       {"parallel", DispatcherParam::Type::kInt64, 1.0,
+        "1 = conflict-decomposed parallel sweeps, 0 = sequential sweep"}},
       [](const DispatcherParams& p) {
         return MakeLocalSearchDispatcher(
-            static_cast<int>(p.GetInt("max_sweeps")));
+            static_cast<int>(p.GetInt("max_sweeps")),
+            p.GetInt("parallel") != 0);
       }));
   must(r->Register("SHORT", {}, [](const DispatcherParams&) {
     return MakeShortDispatcher();

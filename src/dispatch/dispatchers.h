@@ -33,7 +33,11 @@ std::unique_ptr<Dispatcher> MakeIrgDispatcher();
 
 /// `max_sweeps` caps local-search passes (L_max in the complexity analysis;
 /// convergence is guaranteed by Lemma 5.1 but bounded here defensively).
-std::unique_ptr<Dispatcher> MakeLocalSearchDispatcher(int max_sweeps = 16);
+/// `parallel` selects the conflict-decomposed sweep (speculative parallel
+/// propose + in-order commit with exact revalidation; bit-identical to the
+/// sequential sweep, which `parallel = false` keeps as the A/B baseline).
+std::unique_ptr<Dispatcher> MakeLocalSearchDispatcher(int max_sweeps = 16,
+                                                      bool parallel = true);
 
 std::unique_ptr<Dispatcher> MakeShortDispatcher();
 std::unique_ptr<Dispatcher> MakePolarDispatcher();

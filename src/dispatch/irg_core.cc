@@ -7,17 +7,23 @@
 
 namespace mrvd {
 
-double ScoreFromIdle(double idle_seconds, const WaitingRider& rider,
-                     GreedyObjective objective, double pickup_seconds) {
+double ScoreFromIdleTrip(double idle_seconds, double trip_seconds,
+                         GreedyObjective objective, double pickup_seconds) {
   switch (objective) {
     case GreedyObjective::kIdleRatio:
       // Eq. 17 plus an epsilon-scale pickup tie-break (see header).
-      return idle_seconds / (rider.trip_seconds + idle_seconds) +
+      return idle_seconds / (trip_seconds + idle_seconds) +
              pickup_seconds * 1e-9;
     case GreedyObjective::kShortestTotalTime:
-      return rider.trip_seconds + idle_seconds + pickup_seconds * 1e-6;
+      return trip_seconds + idle_seconds + pickup_seconds * 1e-6;
   }
   return 0.0;
+}
+
+double ScoreFromIdle(double idle_seconds, const WaitingRider& rider,
+                     GreedyObjective objective, double pickup_seconds) {
+  return ScoreFromIdleTrip(idle_seconds, rider.trip_seconds, objective,
+                           pickup_seconds);
 }
 
 double ScorePair(const BatchContext& ctx, const WaitingRider& rider,

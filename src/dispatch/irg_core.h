@@ -46,6 +46,15 @@ using IdleTimeFn = std::function<double(RegionId, int)>;
 double ScoreFromIdle(double idle_seconds, const WaitingRider& rider,
                      GreedyObjective objective, double pickup_seconds = 0.0);
 
+/// ScoreFromIdle with the rider's trip time passed directly — for SoA hot
+/// loops (parallel LS propose) that carry trip seconds in a dense array
+/// instead of dereferencing a WaitingRider. ScoreFromIdle delegates here,
+/// so both spellings evaluate the one compiled expression and stay
+/// bit-identical.
+double ScoreFromIdleTrip(double idle_seconds, double trip_seconds,
+                         GreedyObjective objective,
+                         double pickup_seconds = 0.0);
+
 /// Scores a pair under `objective` given the current tentative supply. The
 /// paper's IR (Eq. 17) depends only on the rider; `pickup_seconds` adds an
 /// infinitesimal tie-break so that among equal-IR pairs the closer driver

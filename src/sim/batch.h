@@ -262,6 +262,19 @@ class ShardedBatchContext {
   mutable std::unordered_map<int64_t, double> idle_cache_;
 };
 
+/// Per-Dispatch work counters for iterative dispatchers (currently LS):
+/// convergence and speculation behaviour observable without a profiler.
+/// Sweep-less dispatchers leave everything zero.
+struct DispatchCounters {
+  int64_t sweeps = 0;          ///< refinement sweeps actually run
+  int64_t swaps_applied = 0;   ///< improving swaps committed
+  int64_t proposals = 0;       ///< best-swap evaluations proposed
+  /// Speculative proposals invalidated by an earlier commit and recomputed
+  /// serially (always 0 on the serial path) — proposals_recomputed /
+  /// proposals is the conflict rate of the parallel decomposition.
+  int64_t proposals_recomputed = 0;
+};
+
 /// A batch dispatching algorithm (§5, §6.3).
 class Dispatcher {
  public:
@@ -276,6 +289,10 @@ class Dispatcher {
   /// it with zero pickup travel).
   virtual void Dispatch(const BatchContext& ctx,
                         std::vector<Assignment>* out) = 0;
+
+  /// Work counters for the most recent Dispatch, or null if the dispatcher
+  /// does not track any. Valid until the next Dispatch on this object.
+  virtual const DispatchCounters* counters() const { return nullptr; }
 };
 
 }  // namespace mrvd

@@ -265,6 +265,9 @@ SimResult Simulator::RunImpl(Dispatcher& dispatcher,
     dispatcher.Dispatch(*ctx, &assignments);
     observers.OnDispatchDone(now, dispatch_watch.ElapsedSeconds(),
                              assignments);
+    if (const DispatchCounters* counters = dispatcher.counters()) {
+      observers.OnDispatchCounters(now, *counters);
+    }
 
     // 6. Apply assignments and compact the served riders out of the book.
     applier.Apply(now, *ctx, assignments, &fleet, &orders, &observers);

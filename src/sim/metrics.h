@@ -56,6 +56,15 @@ struct SimResult {
   RunningStats served_wait_seconds;  ///< request -> assignment wait
   RunningStats driver_idle_seconds;  ///< realized idle gaps
 
+  // Dispatcher work counters summed over the run (Dispatcher::counters);
+  // all zero for dispatchers that don't track them. For LS,
+  // dispatch_proposals_recomputed / dispatch_proposals is the conflict rate
+  // of the parallel sweep decomposition (0 on the serial path).
+  int64_t dispatch_sweeps = 0;
+  int64_t dispatch_swaps_applied = 0;
+  int64_t dispatch_proposals = 0;
+  int64_t dispatch_proposals_recomputed = 0;
+
   double ServiceRate() const {
     return total_orders == 0
                ? 0.0

@@ -25,6 +25,14 @@ void MetricsCollector::OnDispatchDone(
   ++result_.num_batches;
 }
 
+void MetricsCollector::OnDispatchCounters(double /*now*/,
+                                          const DispatchCounters& c) {
+  result_.dispatch_sweeps += c.sweeps;
+  result_.dispatch_swaps_applied += c.swaps_applied;
+  result_.dispatch_proposals += c.proposals;
+  result_.dispatch_proposals_recomputed += c.proposals_recomputed;
+}
+
 void MetricsCollector::OnAssignmentApplied(double /*now*/,
                                            const AssignmentEvent& e) {
   if (record_idle_samples_ && e.idle_estimate >= 0.0) {

@@ -20,6 +20,7 @@ namespace mrvd {
 
 class BatchContext;
 struct Assignment;
+struct DispatchCounters;
 
 /// One accepted rider-driver assignment, fully resolved by the
 /// AssignmentApplier (indices refer to the batch's BatchContext).
@@ -60,6 +61,13 @@ class SimObserver {
   virtual void OnDispatchDone(double now, double dispatch_seconds,
                               const std::vector<Assignment>& assignments) {
     (void)now, (void)dispatch_seconds, (void)assignments;
+  }
+
+  /// The dispatcher's work counters for the batch (sweeps, swaps,
+  /// speculation stats — sim/batch.h). Fires right after OnDispatchDone,
+  /// and only for dispatchers that track counters.
+  virtual void OnDispatchCounters(double now, const DispatchCounters& c) {
+    (void)now, (void)c;
   }
 
   /// One accepted assignment was applied to the fleet and order book.
@@ -127,6 +135,9 @@ class ObserverList : public SimObserver {
       o->OnDispatchDone(now, dispatch_seconds, assignments);
     }
   }
+  void OnDispatchCounters(double now, const DispatchCounters& c) override {
+    for (SimObserver* o : observers_) o->OnDispatchCounters(now, c);
+  }
   void OnAssignmentApplied(double now, const AssignmentEvent& e) override {
     for (SimObserver* o : observers_) o->OnAssignmentApplied(now, e);
   }
@@ -170,6 +181,7 @@ class MetricsCollector final : public SimObserver {
                     const BatchContext& ctx) override;
   void OnDispatchDone(double now, double dispatch_seconds,
                       const std::vector<Assignment>& assignments) override;
+  void OnDispatchCounters(double now, const DispatchCounters& c) override;
   void OnAssignmentApplied(double now, const AssignmentEvent& e) override;
   void OnRiderReneged(double now, const Order& order) override;
   void OnDriverShiftChange(double now, DriverId driver_id,
