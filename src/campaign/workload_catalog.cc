@@ -331,6 +331,66 @@ void RegisterBuiltinWorkloads(WorkloadCatalog* c) {
         return builder.Build();
       }));
   must(c->Register(
+      "nyc-skew",
+      {
+          {"day", T::kInt64, "1", "day index (day-of-week = day % 7)"},
+          {"drivers", T::kInt64, "40", "fleet size"},
+          {"orders", T::kInt64, "3000", "orders per day"},
+          {"grid_rows", T::kInt64, "16", "grid rows"},
+          {"grid_cols", T::kInt64, "16", "grid columns"},
+          {"seed", T::kInt64, "20190417", "generator master seed"},
+          {"oracle", T::kInt64, "1",
+           "1 = derive the realized-counts oracle forecast"},
+          {"speed_mps", T::kDouble, "11", "straight-line travel speed"},
+          {"detour", T::kDouble, "1.3", "straight-line detour factor"},
+          {"batch_interval", T::kDouble, "30", "default batch interval (s)"},
+          {"horizon_hours", T::kDouble, "4", "default horizon (hours)"},
+          {"surge_start_hour", T::kDouble, "0.5", "skew window start (hours)"},
+          {"surge_end_hour", T::kDouble, "2.5", "skew window end (hours)"},
+          {"share", T::kDouble, "0.7",
+           "share of window arrivals relocated into the hot rows"},
+          {"row_lo", T::kInt64, "0", "first hot grid row"},
+          {"row_hi", T::kInt64, "2", "last hot grid row"},
+          {"multiplier", T::kDouble, "2",
+           "surge demand multiplier over the hot rows"},
+      },
+      [](const CatalogParams& p) -> StatusOr<Simulation> {
+        // The nyc day with a rush hour funnelling `share` of the window's
+        // arrivals into rows [row_lo, row_hi], plus a row-band surge window
+        // over the same rows so the forecast layer sees the concentration
+        // too — the skewed-demand stress case for adaptive sharding.
+        GeneratorConfig gcfg;
+        gcfg.grid_rows = static_cast<int>(p.GetInt("grid_rows"));
+        gcfg.grid_cols = static_cast<int>(p.GetInt("grid_cols"));
+        gcfg.orders_per_day = static_cast<double>(p.GetInt("orders"));
+        gcfg.seed = static_cast<uint64_t>(p.GetInt("seed"));
+        NycLikeGenerator generator(gcfg);
+        Workload day = generator.GenerateDay(
+            static_cast<int>(p.GetInt("day")),
+            static_cast<int>(p.GetInt("drivers")));
+        const double start = p.GetDouble("surge_start_hour") * 3600.0;
+        const double end = p.GetDouble("surge_end_hour") * 3600.0;
+        const int row_lo = static_cast<int>(p.GetInt("row_lo"));
+        const int row_hi = static_cast<int>(p.GetInt("row_hi"));
+        Workload skewed = SkewWorkloadRows(day, generator.grid(), start, end,
+                                           p.GetDouble("share"), row_lo,
+                                           row_hi, gcfg.seed ^ 0x5EEDULL);
+        ScenarioDayConfig scfg;
+        scfg.surges.push_back(RowBandSurge(generator.grid(), row_lo, row_hi,
+                                           start, end,
+                                           p.GetDouble("multiplier")));
+        ScenarioScript script = BuildScenarioDay(skewed, scfg);
+        SimulationBuilder builder;
+        builder.WithWorkload(std::move(skewed), generator.grid())
+            .WithScenario(std::move(script))
+            .WithStraightLineTravel(p.GetDouble("speed_mps"),
+                                    p.GetDouble("detour"))
+            .BatchInterval(p.GetDouble("batch_interval"))
+            .HorizonSeconds(p.GetDouble("horizon_hours") * 3600.0);
+        if (p.GetInt("oracle") != 0) builder.WithOracleForecast();
+        return builder.Build();
+      }));
+  must(c->Register(
       "tlc",
       {
           {"path", T::kString, "",

@@ -14,10 +14,14 @@ class IrgDispatcher final : public Dispatcher {
 
   std::string name() const override { return name_; }
 
+  const DispatchCounters* counters() const override { return &counters_; }
+
   void Dispatch(const BatchContext& ctx, std::vector<Assignment>* out) override {
     // Sharded preparation (parallel when the batch carries an execution),
     // then the exact sequential selection over the canonical pair list.
+    counters_ = {};
     PreparedBatch prepared = PrepareShardedBatch(ctx, objective_);
+    counters_.shards = std::move(prepared.shard_stats);
     IrgState state = RunGreedySelection(ctx, prepared.pairs, objective_);
     *out = std::move(state.assignments);
   }
@@ -25,6 +29,7 @@ class IrgDispatcher final : public Dispatcher {
  private:
   GreedyObjective objective_;
   std::string name_;
+  DispatchCounters counters_;  ///< shard telemetry of the latest Dispatch
 };
 
 }  // namespace

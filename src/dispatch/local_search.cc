@@ -272,6 +272,7 @@ class LocalSearchDispatcher final : public Dispatcher {
     counters_ = {};
     PreparedBatch prepared =
         PrepareShardedBatch(ctx, GreedyObjective::kIdleRatio);
+    counters_.shards = std::move(prepared.shard_stats);
     IrgState state =
         RunGreedySelection(ctx, prepared.pairs, GreedyObjective::kIdleRatio);
     if (parallel_) {

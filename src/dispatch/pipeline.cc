@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "geo/region_partitioner.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace mrvd {
@@ -21,7 +22,14 @@ PreparedBatch PrepareShardedBatch(const BatchContext& ctx,
   // One-pass shard index, shared by candidate generation and every
   // ShardedBatchContext below (built here only if the engine's
   // BatchBuilder did not already install it).
-  ctx.EnsureShardIndex();
+  const BatchContext::ShardIndex* index = ctx.EnsureShardIndex();
+  out.shard_stats.assign(static_cast<size_t>(num_shards), {});
+  for (int s = 0; s < num_shards; ++s) {
+    out.shard_stats[static_cast<size_t>(s)].riders =
+        static_cast<int64_t>(index->riders[static_cast<size_t>(s)].size());
+    out.shard_stats[static_cast<size_t>(s)].drivers =
+        static_cast<int64_t>(index->drivers[static_cast<size_t>(s)].size());
+  }
 
   // Parallel per-shard candidate generation (sharded inside candidates.cc).
   auto per_rider = GenerateValidPairsPerRider(ctx);
@@ -69,6 +77,9 @@ PreparedBatch PrepareShardedBatch(const BatchContext& ctx,
   std::vector<std::unordered_map<int64_t, double>> caches(
       static_cast<size_t>(num_shards));
   exec->pool->ParallelFor(num_shards, [&](int s) {
+    // Each ParallelFor task is exactly one shard, so the watch reads the
+    // shard's parallel-phase wall time; shard_stats writes are disjoint.
+    Stopwatch shard_watch;
     ShardedBatchContext sctx(ctx, parts, s);
     for (RegionId dest : dests_by_shard[static_cast<size_t>(s)]) {
       sctx.ExpectedIdleSeconds(dest, 0);
@@ -82,6 +93,8 @@ PreparedBatch PrepareShardedBatch(const BatchContext& ctx,
                                  });
     }
     caches[static_cast<size_t>(s)] = sctx.ReleaseIdleCache();
+    out.shard_stats[static_cast<size_t>(s)].seconds =
+        shard_watch.ElapsedSeconds();
   });
 
   // Sequential merge into the shared memo table (first write wins; every

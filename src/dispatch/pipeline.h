@@ -44,6 +44,10 @@ struct PreparedBatch {
   /// Pairs whose rider pickup, driver and rider dropoff fall in one shard
   /// (diagnostic; the complement had to wait for reconciliation).
   size_t internal_pairs = 0;
+  /// Per-shard batch sizes and parallel-phase wall times (empty on the
+  /// serial fallback). Dispatchers move this into their DispatchCounters so
+  /// shard imbalance reaches SimResult like the LS conflict rate does.
+  std::vector<ShardLoadStat> shard_stats;
 };
 
 /// Runs the sharded preparation when `ctx` carries a parallel

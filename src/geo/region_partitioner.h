@@ -47,6 +47,14 @@ class RegionPartitioner {
   /// (row bands are by construction; exposed for tests).
   bool ShardsConnected(const Grid& grid) const;
 
+  /// True if `other` assigns every region to the same shard index. Lets the
+  /// engine's adaptive repartitioning skip installing a rebuilt map that
+  /// could not actually move any region (hysteresis against churn when the
+  /// row banding cannot improve on the current split).
+  bool SamePartition(const RegionPartitioner& other) const {
+    return shard_of_ == other.shard_of_;
+  }
+
  private:
   RegionPartitioner() = default;
 

@@ -1,5 +1,7 @@
 #include "scenario/generator.h"
 
+#include <algorithm>
+
 #include "util/rng.h"
 
 namespace mrvd {
@@ -11,6 +13,51 @@ SurgeWindow RushHourSurge(double start_seconds, double end_seconds,
   w.end_seconds = end_seconds;
   w.multiplier = multiplier;
   return w;  // regions left empty: city-wide
+}
+
+SurgeWindow RowBandSurge(const Grid& grid, int row_lo, int row_hi,
+                         double start_seconds, double end_seconds,
+                         double multiplier) {
+  SurgeWindow w = RushHourSurge(start_seconds, end_seconds, multiplier);
+  row_lo = std::clamp(row_lo, 0, grid.rows() - 1);
+  row_hi = std::clamp(row_hi, row_lo, grid.rows() - 1);
+  for (int r = row_lo; r <= row_hi; ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      w.regions.push_back(grid.RegionAt(r, c));
+    }
+  }
+  return w;
+}
+
+Workload SkewWorkloadRows(const Workload& workload, const Grid& grid,
+                          double start_seconds, double end_seconds,
+                          double share, int row_lo, int row_hi,
+                          uint64_t seed) {
+  Workload out = workload;
+  row_lo = std::clamp(row_lo, 0, grid.rows() - 1);
+  row_hi = std::clamp(row_hi, row_lo, grid.rows() - 1);
+  Rng rng(seed);
+  auto random_point_in_band = [&] {
+    const int row = static_cast<int>(rng.UniformInt(row_lo, row_hi));
+    const int col = static_cast<int>(rng.UniformInt(0, grid.cols() - 1));
+    const BoundingBox cell = grid.CellBox(grid.RegionAt(row, col));
+    return LatLon{rng.Uniform(cell.lat_min, cell.lat_max),
+                  rng.Uniform(cell.lon_min, cell.lon_max)};
+  };
+  for (Order& o : out.orders) {
+    if (o.request_time < start_seconds || o.request_time >= end_seconds) {
+      continue;
+    }
+    // Draw the relocation points unconditionally so each order's coin flip
+    // is independent of every other order's (same idiom as the cancel
+    // hazard above).
+    const LatLon pickup = random_point_in_band();
+    const LatLon dropoff = random_point_in_band();
+    if (!rng.Bernoulli(share)) continue;
+    o.pickup = pickup;
+    o.dropoff = dropoff;
+  }
+  return out;
 }
 
 ScenarioScript BuildScenarioDay(const Workload& workload,

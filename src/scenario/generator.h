@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "geo/grid.h"
 #include "scenario/script.h"
 #include "workload/types.h"
 
@@ -38,6 +39,25 @@ struct ScenarioDayConfig {
 /// City-wide surge window helper.
 SurgeWindow RushHourSurge(double start_seconds, double end_seconds,
                           double multiplier);
+
+/// Surge window covering every region of grid rows [row_lo, row_hi]
+/// (inclusive; clamped to the grid) — the spatially concentrated analogue
+/// of RushHourSurge, and the demand signal that makes uniform row-band
+/// sharding collapse into one hot shard.
+SurgeWindow RowBandSurge(const Grid& grid, int row_lo, int row_hi,
+                         double start_seconds, double end_seconds,
+                         double multiplier);
+
+/// Returns a copy of `workload` where each order requesting inside
+/// [start_seconds, end_seconds) is, with probability `share`, relocated
+/// (pickup and dropoff) into a uniformly random cell of grid rows
+/// [row_lo, row_hi] — a rush hour funneling that share of arrivals into a
+/// few rows. Request times, deadlines, ids and order sequence are
+/// preserved; drivers are untouched. Deterministic in `seed`.
+Workload SkewWorkloadRows(const Workload& workload, const Grid& grid,
+                          double start_seconds, double end_seconds,
+                          double share, int row_lo, int row_hi,
+                          uint64_t seed);
 
 /// Builds the scripted day. Driver ids come from workload.drivers; cancel
 /// order ids from workload.orders.

@@ -262,6 +262,15 @@ class ShardedBatchContext {
   mutable std::unordered_map<int64_t, double> idle_cache_;
 };
 
+/// Per-shard pipeline telemetry for one Dispatch: the shard's batch sizes
+/// and the wall time its parallel-phase work took. max/mean over `seconds`
+/// is the load-imbalance factor adaptive sharding exists to close.
+struct ShardLoadStat {
+  int64_t riders = 0;    ///< context riders whose pickup is in the shard
+  int64_t drivers = 0;   ///< context drivers located in the shard
+  double seconds = 0.0;  ///< shard's parallel-phase wall time
+};
+
 /// Per-Dispatch work counters for iterative dispatchers (currently LS):
 /// convergence and speculation behaviour observable without a profiler.
 /// Sweep-less dispatchers leave everything zero.
@@ -273,6 +282,9 @@ struct DispatchCounters {
   /// serially (always 0 on the serial path) — proposals_recomputed /
   /// proposals is the conflict rate of the parallel decomposition.
   int64_t proposals_recomputed = 0;
+  /// One entry per pipeline shard (empty on the serial path), filled by
+  /// PrepareShardedBatch for every dispatcher that runs through it.
+  std::vector<ShardLoadStat> shards;
 };
 
 /// A batch dispatching algorithm (§5, §6.3).

@@ -13,6 +13,7 @@
 #include "sim/batch_builder.h"
 #include "sim/fleet_state.h"
 #include "sim/order_book.h"
+#include "sim/shard_load_tracker.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -157,6 +158,21 @@ Status SimConfig::Validate() const {
         "num_shards must be >= 0 (0 = derive from threads), got " +
         std::to_string(num_shards));
   }
+  if (!(rebalance_threshold >= 1.0) || !std::isfinite(rebalance_threshold)) {
+    return Status::InvalidArgument(
+        "rebalance_threshold must be >= 1 and finite, got " +
+        std::to_string(rebalance_threshold));
+  }
+  if (!(load_ewma_alpha > 0.0) || load_ewma_alpha > 1.0) {
+    return Status::InvalidArgument(
+        "load_ewma_alpha must be in (0, 1], got " +
+        std::to_string(load_ewma_alpha));
+  }
+  if (!(forecast_blend >= 0.0) || !std::isfinite(forecast_blend)) {
+    return Status::InvalidArgument(
+        "forecast_blend must be >= 0 and finite, got " +
+        std::to_string(forecast_blend));
+  }
   if (!(alpha > 0.0) || !std::isfinite(alpha)) {
     return Status::InvalidArgument("alpha (fee rate) must be positive and "
                                    "finite, got " + std::to_string(alpha));
@@ -212,14 +228,21 @@ SimResult Simulator::RunImpl(Dispatcher& dispatcher,
                                          : config_.num_threads;
   std::unique_ptr<ThreadPool> pool;
   std::unique_ptr<RegionPartitioner> partitioner;
+  std::unique_ptr<ShardLoadTracker> load_tracker;
   BatchExecution execution;
+  int shards = 0;
   if (threads > 1) {
-    int shards = config_.num_shards > 0 ? config_.num_shards : 2 * threads;
+    shards = config_.ResolveShards(threads);
     pool = std::make_unique<ThreadPool>(threads);
     partitioner = std::make_unique<RegionPartitioner>(
         RegionPartitioner::RowBands(grid_, shards));
     execution.pool = pool.get();
     execution.partitioner = partitioner.get();
+    if (config_.adaptive_sharding) {
+      load_tracker = std::make_unique<ShardLoadTracker>(
+          grid_.num_regions(), config_.load_ewma_alpha,
+          config_.forecast_blend);
+    }
   }
   BatchBuilder builder(grid_, cost_model_, forecast_, config_.window_seconds,
                        config_.reneging_beta, config_.candidate_mode,
@@ -248,18 +271,42 @@ SimResult Simulator::RunImpl(Dispatcher& dispatcher,
       break;  // nothing left to do
     }
 
-    // 3. Build the batch context off the incremental counters.
+    // 3. Load-aware repartition: when the tracked demand's imbalance over
+    //    the current shard map crosses the hysteresis threshold, rebuild
+    //    the row bands weight-balanced and install them before this batch's
+    //    context (and its cached shard index) is materialised. Results are
+    //    partition-invariant, so this only moves work between workers.
+    if (load_tracker != nullptr && load_tracker->has_signal()) {
+      const double imbalance =
+          ShardLoadTracker::Imbalance(*partitioner, load_tracker->weights());
+      if (imbalance > config_.rebalance_threshold) {
+        auto rebalanced =
+            std::make_unique<RegionPartitioner>(RegionPartitioner::RowBands(
+                grid_, shards, load_tracker->weights()));
+        if (!rebalanced->SamePartition(*partitioner)) {
+          const double after = ShardLoadTracker::Imbalance(
+              *rebalanced, load_tracker->weights());
+          partitioner = std::move(rebalanced);
+          execution.partitioner = partitioner.get();
+          observers.OnRepartition(now, partitioner->num_shards(), imbalance,
+                                  after);
+        }
+      }
+    }
+
+    // 4. Build the batch context off the incremental counters.
     fleet.AdvanceRejoinWindow(now, config_.window_seconds);
     Stopwatch build_watch;
     std::unique_ptr<BatchContext> ctx =
         builder.Build(now, orders, fleet, scenario.demand_multipliers());
     observers.OnBatchBuilt(now, build_watch.ElapsedSeconds(), *ctx);
+    if (load_tracker != nullptr) load_tracker->Observe(ctx->snapshots());
 
-    // 4. Capture idle-time estimates for freshly (re)joined drivers.
+    // 5. Capture idle-time estimates for freshly (re)joined drivers.
     fleet.CaptureIdleEstimates(config_.record_idle_samples ? ctx.get()
                                                            : nullptr);
 
-    // 5. Dispatch.
+    // 6. Dispatch.
     std::vector<Assignment> assignments;
     Stopwatch dispatch_watch;
     dispatcher.Dispatch(*ctx, &assignments);
@@ -269,7 +316,7 @@ SimResult Simulator::RunImpl(Dispatcher& dispatcher,
       observers.OnDispatchCounters(now, *counters);
     }
 
-    // 6. Apply assignments and compact the served riders out of the book.
+    // 7. Apply assignments and compact the served riders out of the book.
     applier.Apply(now, *ctx, assignments, &fleet, &orders, &observers);
     observers.OnBatchEnd(now);
   }

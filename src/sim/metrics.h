@@ -65,6 +65,17 @@ struct SimResult {
   int64_t dispatch_proposals = 0;
   int64_t dispatch_proposals_recomputed = 0;
 
+  // Shard-load telemetry of the parallel pipeline (empty/zero on serial
+  // runs — this is diagnostics about HOW the run executed, not about its
+  // outcome, which is partition-invariant). Per batch, imbalance = max
+  // shard over mean shard of the pipeline's per-shard rider counts
+  // (shard_size_imbalance) and parallel-phase wall times
+  // (shard_time_imbalance); repartitions counts the adaptive-sharding
+  // rebuilds (SimConfig::adaptive_sharding).
+  RunningStats shard_size_imbalance;
+  RunningStats shard_time_imbalance;
+  int64_t repartitions = 0;
+
   double ServiceRate() const {
     return total_orders == 0
                ? 0.0

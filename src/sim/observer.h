@@ -106,6 +106,17 @@ class SimObserver {
     (void)now, (void)window, (void)active;
   }
 
+  /// Adaptive sharding rebuilt the shard map between batches (fires before
+  /// the batch at `now` is built). `imbalance_before`/`imbalance_after` are
+  /// the tracked demand's max-shard/mean-shard load factor under the old
+  /// and new partition.
+  virtual void OnRepartition(double now, int num_shards,
+                             double imbalance_before,
+                             double imbalance_after) {
+    (void)now, (void)num_shards;
+    (void)imbalance_before, (void)imbalance_after;
+  }
+
   /// All assignments of the batch are applied and served riders compacted.
   virtual void OnBatchEnd(double now) { (void)now; }
 
@@ -157,6 +168,12 @@ class ObserverList : public SimObserver {
                      bool active) override {
     for (SimObserver* o : observers_) o->OnSurgeChange(now, window, active);
   }
+  void OnRepartition(double now, int num_shards, double imbalance_before,
+                     double imbalance_after) override {
+    for (SimObserver* o : observers_) {
+      o->OnRepartition(now, num_shards, imbalance_before, imbalance_after);
+    }
+  }
   void OnBatchEnd(double now) override {
     for (SimObserver* o : observers_) o->OnBatchEnd(now);
   }
@@ -189,6 +206,8 @@ class MetricsCollector final : public SimObserver {
   void OnRiderCancelled(double now, const Order& order) override;
   void OnSurgeChange(double now, const SurgeWindow& window,
                      bool active) override;
+  void OnRepartition(double now, int num_shards, double imbalance_before,
+                     double imbalance_after) override;
   void OnRunEnd(double end_time, int64_t never_dispatched) override;
 
   /// Moves the finished result out (the collector is spent afterwards).

@@ -1,0 +1,50 @@
+#include "sim/shard_load_tracker.h"
+
+#include <algorithm>
+
+#include "geo/region_partitioner.h"
+
+namespace mrvd {
+
+ShardLoadTracker::ShardLoadTracker(int num_regions, double ewma_alpha,
+                                   double forecast_blend)
+    : ewma_alpha_(ewma_alpha),
+      forecast_blend_(forecast_blend),
+      ewma_(static_cast<size_t>(num_regions), 0.0),
+      weights_(static_cast<size_t>(num_regions), 0.0) {}
+
+void ShardLoadTracker::Observe(const std::vector<RegionSnapshot>& snapshots) {
+  if (snapshots.size() != ewma_.size()) return;
+  double total = 0.0;
+  for (size_t k = 0; k < snapshots.size(); ++k) {
+    const double observed = static_cast<double>(snapshots[k].waiting_riders);
+    // First observation seeds the EWMA directly so early batches are not
+    // dragged toward the zero initial state.
+    ewma_[k] = has_signal_ ? ewma_alpha_ * observed +
+                                 (1.0 - ewma_alpha_) * ewma_[k]
+                           : observed;
+    weights_[k] = ewma_[k] + forecast_blend_ * snapshots[k].predicted_riders;
+    total += weights_[k];
+  }
+  if (total > 0.0) has_signal_ = true;
+}
+
+double ShardLoadTracker::Imbalance(const RegionPartitioner& parts,
+                                   const std::vector<double>& weights) {
+  if (static_cast<int>(weights.size()) != parts.num_regions() ||
+      parts.num_shards() == 0) {
+    return 1.0;
+  }
+  double max_shard = 0.0;
+  double total = 0.0;
+  for (const auto& regions : parts.shard_regions()) {
+    double w = 0.0;
+    for (RegionId r : regions) w += weights[static_cast<size_t>(r)];
+    max_shard = std::max(max_shard, w);
+    total += w;
+  }
+  if (total <= 0.0) return 1.0;
+  return max_shard * static_cast<double>(parts.num_shards()) / total;
+}
+
+}  // namespace mrvd

@@ -1,0 +1,59 @@
+// Per-region demand tracking for load-aware adaptive sharding.
+//
+// The row-band shard map assumes demand is spatially uniform; a rush-hour
+// surge concentrates a whole batch into one shard and the parallel pipeline
+// degrades to serial. The tracker maintains an EWMA of every region's
+// observed waiting-rider count (fed one batch at a time from the built
+// BatchContext's RegionSnapshots) blended with the forecast demand of the
+// scheduling window — which the BatchBuilder has already scaled by the
+// active surge multipliers — producing the per-region weights the weighted
+// RegionPartitioner::RowBands overload balances.
+//
+// The engine queries Imbalance() (max-shard weight over mean-shard weight)
+// against SimConfig::rebalance_threshold between batches and rebuilds the
+// partition only when it crosses; because shard output is bit-identical to
+// serial for ANY partition, repartitioning is a pure perf decision.
+#pragma once
+
+#include <vector>
+
+#include "queueing/rates.h"
+
+namespace mrvd {
+
+class RegionPartitioner;
+
+class ShardLoadTracker {
+ public:
+  /// `ewma_alpha` in (0, 1] weighs the newest batch; `forecast_blend` >= 0
+  /// scales the predicted-rider term added on top of the EWMA.
+  ShardLoadTracker(int num_regions, double ewma_alpha, double forecast_blend);
+
+  /// Folds one built batch's region snapshots into the tracked weights.
+  /// `snapshots.size()` must equal the constructor's num_regions.
+  void Observe(const std::vector<RegionSnapshot>& snapshots);
+
+  /// False until the first Observe() with any positive weight — with no
+  /// signal the uniform row bands are already the right partition.
+  bool has_signal() const { return has_signal_; }
+
+  /// Blended per-region weights (EWMA observed + forecast_blend * forecast),
+  /// sized num_regions. Zero everywhere before the first Observe().
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Load-imbalance factor of `weights` under `parts`: max-shard total
+  /// weight over mean-shard total weight, >= 1. Returns 1 (perfectly
+  /// balanced) for zero/degenerate total weight or a mismatched region
+  /// count.
+  static double Imbalance(const RegionPartitioner& parts,
+                          const std::vector<double>& weights);
+
+ private:
+  double ewma_alpha_;
+  double forecast_blend_;
+  bool has_signal_ = false;
+  std::vector<double> ewma_;     ///< per-region observed-rider EWMA
+  std::vector<double> weights_;  ///< ewma + forecast_blend * forecast
+};
+
+}  // namespace mrvd

@@ -193,8 +193,10 @@ TEST_F(ShardedPipelineTest, AllDispatchersBitIdenticalAcrossThreadCounts) {
       }
       for (int threads : {2, 4}) {
         ThreadPool pool(threads);
-        RegionPartitioner parts =
-            RegionPartitioner::RowBands(grid_, 2 * threads);
+        // Shard count routed through SimConfig, so the test exercises the
+        // partition the engine itself would derive for this thread count.
+        RegionPartitioner parts = RegionPartitioner::RowBands(
+            grid_, SimConfig().ResolveShards(threads));
         BatchExecution exec{&pool, &parts};
         auto sharded_ctx = MakeBatch(seed, 120, 90, mode);
         sharded_ctx->SetExecution(&exec);
