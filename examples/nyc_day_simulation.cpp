@@ -22,6 +22,12 @@
 //                   cancellation-hazard + rush-hour-surge day through the
 //                   scenario event subsystem (see examples/scenario_day.cpp
 //                   for the full roster under that script)
+//   --stream PATH   stream a binary order trace (tools/tlc_to_trace or
+//                   `campaign convert`) instead of materialising a workload;
+//                   peak memory stays O(batch) regardless of trace length.
+//                   Prediction-free and scenario-free: the forecast needs
+//                   the full day up front, which streaming deliberately
+//                   avoids.
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
@@ -31,9 +37,11 @@
 #include <vector>
 
 #include "api/api.h"
+#include "geo/grid.h"
 #include "prediction/predictor.h"
 #include "scenario/generator.h"
 #include "util/strings.h"
+#include "workload/order_stream.h"
 #include "workload/tlc_parser.h"
 
 using namespace mrvd;
@@ -74,6 +82,7 @@ struct CliOptions {
   double orders = 30000.0;
   int drivers = 300;
   std::string tlc_path;
+  std::string stream_path;
   int threads = 1;
   int shards = 0;
   std::string scenario = "none";
@@ -126,6 +135,10 @@ bool ParseCli(int argc, char** argv, CliOptions* opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt->tlc_path = v;
+    } else if (arg == "--stream") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt->stream_path = v;
     } else if (arg == "--threads") {
       if (!numeric(&opt->threads)) return false;
     } else if (arg == "--shards") {
@@ -156,6 +169,42 @@ bool ParseCli(int argc, char** argv, CliOptions* opt) {
   return true;
 }
 
+/// Sweep the full dispatcher roster over an assembled environment and print
+/// the comparison table (plus the IRG hourly breakdown) — shared by the
+/// materialised and streamed paths so their output is comparable line for
+/// line.
+int SweepAndPrint(const Simulation& sim) {
+  HourlyBreakdown hourly;
+  std::vector<RunSpec> specs;
+  for (const std::string& name : DispatcherRegistry::Global().Names()) {
+    RunSpec spec(name);
+    if (name == "IRG") spec.observer = &hourly;
+    specs.push_back(spec);
+  }
+
+  ExperimentRunner runner(sim);
+  StatusOr<std::vector<RunResult>> results = runner.RunAll(specs);
+  if (!results.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-8s %12s %10s %10s %8s %12s %12s %10s\n", "approach",
+              "revenue", "served", "reneged", "cancel", "svc-rate",
+              "batch-ms", "build-ms");
+  for (const RunResult& run : *results) {
+    const SimResult& r = run.result;
+    std::printf("%-8s %12.4e %10lld %10lld %8lld %11.1f%% %12.3f %10.4f\n",
+                run.label.c_str(), r.total_revenue, (long long)r.served_orders,
+                (long long)r.reneged_orders, (long long)r.cancelled_orders,
+                100.0 * r.ServiceRate(), r.batch_seconds.mean() * 1e3,
+                r.batch_build_seconds.mean() * 1e3);
+  }
+  hourly.Print();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,9 +212,43 @@ int main(int argc, char** argv) {
   if (!ParseCli(argc, argv, &opt)) {
     std::fprintf(stderr,
                  "usage: %s [--orders N] [--drivers N] [--tlc PATH] "
-                 "[--threads N] [--shards N] [--scenario none|day]\n",
+                 "[--stream TRACE] [--threads N] [--shards N] "
+                 "[--scenario none|day]\n",
                  argv[0]);
     return 2;
+  }
+
+  if (!opt.stream_path.empty()) {
+    if (!opt.tlc_path.empty() || opt.scenario != "none") {
+      std::fprintf(stderr,
+                   "--stream is exclusive with --tlc and --scenario (the "
+                   "streamed day is prediction- and scenario-free)\n");
+      return 2;
+    }
+    StatusOr<OrderTraceInfo> info = ReadOrderTraceInfo(opt.stream_path);
+    if (!info.ok()) {
+      std::fprintf(stderr, "cannot read trace: %s\n",
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "streaming %s: %lld orders + %lld drivers, t=[%.0f, %.0f]s, "
+        "horizon %.0fs\n",
+        opt.stream_path.c_str(), (long long)info->order_count,
+        (long long)info->driver_count, info->first_request_time,
+        info->last_request_time, info->horizon_seconds);
+    StatusOr<Simulation> sim = SimulationBuilder()
+                                   .StreamTrace(opt.stream_path,
+                                                MakeNycGrid16x16())
+                                   .Threads(opt.threads)
+                                   .Shards(opt.shards)
+                                   .Build();
+    if (!sim.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   sim.status().ToString().c_str());
+      return 1;
+    }
+    return SweepAndPrint(*sim);
   }
 
   GeneratorConfig gen_cfg;
@@ -229,33 +312,5 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  HourlyBreakdown hourly;
-  std::vector<RunSpec> specs;
-  for (const std::string& name : DispatcherRegistry::Global().Names()) {
-    RunSpec spec(name);
-    if (name == "IRG") spec.observer = &hourly;
-    specs.push_back(spec);
-  }
-
-  ExperimentRunner runner(*sim);
-  StatusOr<std::vector<RunResult>> results = runner.RunAll(specs);
-  if (!results.ok()) {
-    std::fprintf(stderr, "sweep failed: %s\n",
-                 results.status().ToString().c_str());
-    return 1;
-  }
-
-  std::printf("\n%-8s %12s %10s %10s %8s %12s %12s %10s\n", "approach",
-              "revenue", "served", "reneged", "cancel", "svc-rate",
-              "batch-ms", "build-ms");
-  for (const RunResult& run : *results) {
-    const SimResult& r = run.result;
-    std::printf("%-8s %12.4e %10lld %10lld %8lld %11.1f%% %12.3f %10.4f\n",
-                run.label.c_str(), r.total_revenue, (long long)r.served_orders,
-                (long long)r.reneged_orders, (long long)r.cancelled_orders,
-                100.0 * r.ServiceRate(), r.batch_seconds.mean() * 1e3,
-                r.batch_build_seconds.mean() * 1e3);
-  }
-  hourly.Print();
-  return 0;
+  return SweepAndPrint(*sim);
 }

@@ -62,24 +62,23 @@ StatusOr<ResolvedRun> ResolveRunSpec(const Simulation& simulation,
   return run;
 }
 
-/// Executes a resolved run inline; runs are independent (own dispatcher and
-/// Simulator), so the same ResolvedRun gives the same RunResult on any
-/// thread of any pool.
-RunResult ExecuteResolved(const Simulation& simulation, ResolvedRun& run) {
-  Simulator simulator(run.config, simulation.workload(), simulation.grid(),
-                      simulation.travel_model(), simulation.forecast());
+/// Executes a resolved run inline; runs are independent (own dispatcher,
+/// Simulator, and — when streaming — stream reader), so the same
+/// ResolvedRun gives the same RunResult on any thread of any pool. Fails
+/// only on stream I/O errors (Simulation::RunWith), never on engine work.
+StatusOr<RunResult> ExecuteResolved(const Simulation& simulation,
+                                    ResolvedRun& run) {
   Stopwatch watch;
-  SimResult sim_result =
-      run.scenario != nullptr
-          ? simulator.Run(*run.dispatcher, *run.scenario, run.spec->observer)
-          : simulator.Run(*run.dispatcher, run.spec->observer);
+  StatusOr<SimResult> sim_result = simulation.RunWith(
+      run.config, *run.dispatcher, run.scenario, run.spec->observer);
+  if (!sim_result.ok()) return sim_result.status();
   RunResult out;
   out.wall_seconds = watch.ElapsedSeconds();
   out.label = run.spec->label.empty() ? run.spec->dispatcher : run.spec->label;
   out.dispatcher = run.dispatcher->name();
   out.spec = run.spec->dispatcher;
   out.replication_seed = run.spec->replication_seed;
-  out.result = std::move(sim_result);
+  out.result = std::move(sim_result).value();
   return out;
 }
 
@@ -104,13 +103,22 @@ StatusOr<std::vector<RunResult>> ExperimentRunner::RunAll(
 
   // Execute. Runs are independent — each worker gets its own Simulator and
   // dispatcher — so the pool's schedule cannot affect any aggregate and
-  // results land in pre-sized, disjoint slots.
+  // results land in pre-sized, disjoint slots. Failures (a streamed trace
+  // turning unreadable mid-sweep) are per-slot; the first one, in spec
+  // order, fails the sweep after every worker has finished.
   std::vector<RunResult> results(runs.size());
+  std::vector<Status> statuses(runs.size());
   ThreadPool pool(num_threads_);
   pool.ParallelFor(static_cast<int>(runs.size()), [&](int i) {
-    results[static_cast<size_t>(i)] =
+    StatusOr<RunResult> result =
         ExecuteResolved(simulation_, runs[static_cast<size_t>(i)]);
+    if (result.ok()) {
+      results[static_cast<size_t>(i)] = std::move(result).value();
+    } else {
+      statuses[static_cast<size_t>(i)] = result.status();
+    }
   });
+  for (const Status& st : statuses) MRVD_RETURN_NOT_OK(st);
   return results;
 }
 

@@ -1,10 +1,14 @@
 #include "api/simulation_builder.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "api/dispatcher_registry.h"
 #include "prediction/predictor.h"
+#include "util/logging.h"
 #include "workload/demand_history.h"
+#include "workload/order_source.h"
+#include "workload/order_stream.h"
 
 namespace mrvd {
 
@@ -24,14 +28,50 @@ StatusOr<SimResult> Simulation::Run(const std::string& dispatcher_spec,
   StatusOr<std::unique_ptr<Dispatcher>> dispatcher =
       DispatcherRegistry::Global().Create(dispatcher_spec);
   if (!dispatcher.ok()) return dispatcher.status();
-  return Run(**dispatcher, observer);
+  return RunWith(ConfigFor((*dispatcher)->name()), **dispatcher, scenario_,
+                 observer);
 }
 
 SimResult Simulation::Run(Dispatcher& dispatcher, SimObserver* observer) const {
-  Simulator simulator(ConfigFor(dispatcher.name()), *workload_, *grid_,
-                      *travel_, forecast_);
-  return scenario_ != nullptr ? simulator.Run(dispatcher, *scenario_, observer)
-                              : simulator.Run(dispatcher, observer);
+  StatusOr<SimResult> result =
+      RunWith(ConfigFor(dispatcher.name()), dispatcher, scenario_, observer);
+  if (!result.ok()) {
+    // This overload predates streaming and returns a bare SimResult; an
+    // unreadable trace here is an environment failure with no recovery
+    // path, on par with the engine's invalid-config abort.
+    MRVD_LOG(Error) << "simulation run failed: " << result.status();
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+StatusOr<SimResult> Simulation::RunWith(const SimConfig& config,
+                                        Dispatcher& dispatcher,
+                                        const ScenarioScript* scenario,
+                                        SimObserver* observer) const {
+  if (!streaming()) {
+    Simulator simulator(config, *workload_, *grid_, *travel_, forecast_);
+    return scenario != nullptr
+               ? simulator.Run(dispatcher, *scenario, observer)
+               : simulator.Run(dispatcher, observer);
+  }
+  // A fresh reader per run: Simulation is copyable and Run is const, so
+  // concurrent sweeps over one streamed simulation must not share a file
+  // cursor. The opened reader's drivers are identical to workload_'s (same
+  // file; Build() validated it), so the engine uses the shared vector.
+  StatusOr<std::unique_ptr<OrderStreamReader>> reader =
+      OrderStreamReader::Open(stream_path_);
+  if (!reader.ok()) return reader.status();
+  StreamingOrderSource source(std::move(reader).value(), stream_max_orders_);
+  Simulator simulator(config, source, workload_->drivers, *grid_, *travel_,
+                      forecast_);
+  SimResult result = scenario != nullptr
+                         ? simulator.Run(dispatcher, *scenario, observer)
+                         : simulator.Run(dispatcher, observer);
+  // A stream that died mid-run produced a silently truncated day — fail
+  // the run rather than hand back misleading aggregates.
+  MRVD_RETURN_NOT_OK(source.status());
+  return result;
 }
 
 Simulation Simulation::WithScenario(ScenarioScript script) const {
@@ -53,6 +93,7 @@ SimulationBuilder& SimulationBuilder::GenerateNycDay(
   grid_ = std::make_shared<const Grid>(generator->grid());
   generator_ = std::move(generator);
   borrowed_workload_ = nullptr;
+  stream_path_.clear();
   return *this;
 }
 
@@ -62,6 +103,7 @@ SimulationBuilder& SimulationBuilder::WithWorkload(Workload workload,
   grid_ = std::make_shared<const Grid>(grid);
   generator_ = nullptr;
   borrowed_workload_ = nullptr;
+  stream_path_.clear();
   return *this;
 }
 
@@ -71,6 +113,19 @@ SimulationBuilder& SimulationBuilder::BorrowWorkload(const Workload& workload,
   grid_ = std::make_shared<const Grid>(grid);
   generator_ = nullptr;
   owned_workload_ = nullptr;
+  stream_path_.clear();
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::StreamTrace(const std::string& trace_path,
+                                                  const Grid& grid,
+                                                  int64_t max_orders) {
+  stream_path_ = trace_path;
+  stream_max_orders_ = max_orders;
+  grid_ = std::make_shared<const Grid>(grid);
+  generator_ = nullptr;
+  owned_workload_ = nullptr;
+  borrowed_workload_ = nullptr;
   return *this;
 }
 
@@ -158,10 +213,10 @@ StatusOr<Simulation> SimulationBuilder::Build() const {
   const Workload* workload = borrowed_workload_ != nullptr
                                  ? borrowed_workload_
                                  : owned_workload_.get();
-  if (workload == nullptr) {
+  if (workload == nullptr && stream_path_.empty()) {
     return Status::InvalidArgument(
-        "no workload: call GenerateNycDay(), WithWorkload() or "
-        "BorrowWorkload() before Build()");
+        "no workload: call GenerateNycDay(), WithWorkload(), "
+        "BorrowWorkload() or StreamTrace() before Build()");
   }
   MRVD_RETURN_NOT_OK(config_.Validate());
 
@@ -171,6 +226,28 @@ StatusOr<Simulation> SimulationBuilder::Build() const {
   sim.workload_ = workload;
   sim.grid_ = grid_;
   sim.config_ = config_;
+
+  if (!stream_path_.empty()) {
+    if (oracle_slots_ > 0) {
+      return Status::InvalidArgument(
+          "WithOracleForecast() needs a materialised workload (it "
+          "accumulates the realized per-slot counts); a streamed trace is "
+          "scanned once at run time — derive the forecast offline and pass "
+          "WithForecast() instead");
+    }
+    // Header + driver section only: the shell workload carries the fleet
+    // and horizon, and validates the trace before the first Run.
+    StatusOr<std::unique_ptr<OrderStreamReader>> reader =
+        OrderStreamReader::Open(stream_path_);
+    if (!reader.ok()) return reader.status();
+    Workload shell;
+    shell.drivers = (*reader)->drivers();
+    shell.horizon_seconds = (*reader)->info().horizon_seconds;
+    sim.owned_workload_ = std::make_shared<const Workload>(std::move(shell));
+    sim.workload_ = sim.owned_workload_.get();
+    sim.stream_path_ = stream_path_;
+    sim.stream_max_orders_ = stream_max_orders_;
+  }
 
   if (borrowed_travel_ != nullptr) {
     sim.travel_ = borrowed_travel_;

@@ -37,6 +37,8 @@ namespace mrvd {
 /// constructs a fresh Simulator, so runs are independent and repeatable.
 class Simulation {
  public:
+  /// On the streaming path the workload holds the trace's drivers and
+  /// horizon with an EMPTY orders vector — orders never materialise.
   const Workload& workload() const { return *workload_; }
   const Grid& grid() const { return *grid_; }
   const TravelCostModel& travel_model() const { return *travel_; }
@@ -56,7 +58,23 @@ class Simulation {
                           SimObserver* observer = nullptr) const;
 
   /// Runs a caller-constructed dispatcher over the same environment.
+  /// Streamed simulations abort on stream I/O failure (use RunWith, or the
+  /// spec overload above, where a Status is wanted).
   SimResult Run(Dispatcher& dispatcher, SimObserver* observer = nullptr) const;
+
+  /// The single-run engine path under an explicit, already trait-applied
+  /// config — what every Run overload (and the ExperimentRunner) bottoms
+  /// out in. A streamed simulation opens a fresh OrderStreamReader per
+  /// call (runs stay independent, so sweeps parallelise), and stream
+  /// open/read failures surface as the Status.
+  StatusOr<SimResult> RunWith(const SimConfig& config, Dispatcher& dispatcher,
+                              const ScenarioScript* scenario,
+                              SimObserver* observer = nullptr) const;
+
+  /// True when orders stream from a binary trace instead of memory.
+  bool streaming() const { return !stream_path_.empty(); }
+  /// The trace path behind a streaming simulation ("" otherwise).
+  const std::string& stream_path() const { return stream_path_; }
 
   /// A copy of this simulation with `script` attached (shared ownership),
   /// replacing any existing script. The campaign layer uses this to pair
@@ -84,6 +102,8 @@ class Simulation {
   std::shared_ptr<const ScenarioScript> owned_scenario_;
   const ScenarioScript* scenario_ = nullptr;  ///< may stay null
   SimConfig config_;
+  std::string stream_path_;        ///< non-empty: stream orders from here
+  int64_t stream_max_orders_ = 0;  ///< > 0: cap the streamed order count
 };
 
 /// Fluent builder for Simulation. All setters return *this; Build() may be
@@ -108,6 +128,17 @@ class SimulationBuilder {
   /// Borrows a workload owned by the caller, which must outlive every
   /// Simulation built from this builder.
   SimulationBuilder& BorrowWorkload(const Workload& workload, const Grid& grid);
+
+  /// Streams orders from a binary trace (see workload/order_stream.h)
+  /// instead of materialising them: Build() reads only the trace's header
+  /// and driver section, and every Run pulls arrivals through a fresh
+  /// buffered reader with O(batch) peak memory — bit-identical to
+  /// materialising the same trace. `max_orders` > 0 caps the streamed
+  /// count. Incompatible with WithOracleForecast() (the oracle needs the
+  /// realized orders in memory; derive a forecast offline and pass
+  /// WithForecast() instead).
+  SimulationBuilder& StreamTrace(const std::string& trace_path,
+                                 const Grid& grid, int64_t max_orders = 0);
 
   // ---- Travel model (default: straight-line at 11 m/s, 1.3 detour) ----
 
@@ -170,6 +201,8 @@ class SimulationBuilder {
   const ScenarioScript* borrowed_scenario_ = nullptr;
   std::shared_ptr<const ScenarioScript> owned_scenario_;
   SimConfig config_;
+  std::string stream_path_;
+  int64_t stream_max_orders_ = 0;
 };
 
 }  // namespace mrvd

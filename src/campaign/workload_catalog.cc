@@ -9,6 +9,7 @@
 #include "util/logging.h"
 #include "util/strings.h"
 #include "workload/generator.h"
+#include "workload/order_stream.h"
 #include "workload/tlc_parser.h"
 
 namespace mrvd {
@@ -429,6 +430,62 @@ void RegisterBuiltinWorkloads(WorkloadCatalog* c) {
                                     p.GetDouble("detour"))
             .BatchInterval(p.GetDouble("batch_interval"))
             .HorizonSeconds(p.GetDouble("horizon_hours") * 3600.0);
+        return builder.Build();
+      }));
+  must(c->Register(
+      "trace",
+      {
+          {"path", T::kString, "",
+           "binary order-trace path (empty = $MRVD_TRACE_BIN)"},
+          {"max_orders", T::kInt64, "0", "order cap (0 = the whole trace)"},
+          {"speed_mps", T::kDouble, "11", "straight-line travel speed"},
+          {"detour", T::kDouble, "1.3", "straight-line detour factor"},
+          {"batch_interval", T::kDouble, "3", "default batch interval (s)"},
+          {"horizon_hours", T::kDouble, "0",
+           "horizon (hours); 0 = the trace header's horizon"},
+      },
+      [](const CatalogParams& p) -> StatusOr<Simulation> {
+        // The streamed city-scale workload: orders pull straight from the
+        // binary trace with O(batch) memory. MRVD_TRACE_MATERIALIZE=1
+        // switches the factory to loading the whole trace up front — an
+        // env toggle, NOT a spec parameter, so the canonical spec (and
+        // therefore every campaign cell key and manifest) is identical
+        // either way; CI exploits that to byte-compare the two manifests.
+        std::string path = p.GetString("path");
+        if (path.empty()) {
+          const char* env = std::getenv("MRVD_TRACE_BIN");
+          if (env != nullptr) path = env;
+        }
+        if (path.empty()) {
+          return Status::InvalidArgument(
+              "workload 'trace' needs a binary order trace: pass path=... "
+              "or set MRVD_TRACE_BIN (convert CSVs with `campaign "
+              "convert`)");
+        }
+        StatusOr<OrderTraceInfo> info = ReadOrderTraceInfo(path);
+        if (!info.ok()) return info.status();
+        const double horizon_hours = p.GetDouble("horizon_hours");
+        const double horizon = horizon_hours > 0.0
+                                   ? horizon_hours * 3600.0
+                                   : info->horizon_seconds;
+        const char* materialize = std::getenv("MRVD_TRACE_MATERIALIZE");
+        SimulationBuilder builder;
+        if (materialize != nullptr && materialize[0] != '\0' &&
+            std::string(materialize) != "0") {
+          StatusOr<Workload> workload =
+              ReadOrderTrace(path, p.GetInt("max_orders"));
+          if (!workload.ok()) return workload.status();
+          builder.WithWorkload(std::move(workload).value(),
+                               MakeNycGrid16x16());
+        } else {
+          builder.StreamTrace(path, MakeNycGrid16x16(),
+                              p.GetInt("max_orders"));
+        }
+        builder
+            .WithStraightLineTravel(p.GetDouble("speed_mps"),
+                                    p.GetDouble("detour"))
+            .BatchInterval(p.GetDouble("batch_interval"))
+            .HorizonSeconds(horizon);
         return builder.Build();
       }));
 }

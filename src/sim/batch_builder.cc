@@ -16,11 +16,11 @@ constexpr int kParallelGrain = 256;
 
 WaitingRider Materialise(const PendingRider& pr) {
   WaitingRider wr;
-  wr.order_id = pr.order->id;
-  wr.pickup = pr.order->pickup;
-  wr.dropoff = pr.order->dropoff;
-  wr.request_time = pr.order->request_time;
-  wr.pickup_deadline = pr.order->pickup_deadline;
+  wr.order_id = pr.order.id;
+  wr.pickup = pr.order.pickup;
+  wr.dropoff = pr.order.dropoff;
+  wr.request_time = pr.order.request_time;
+  wr.pickup_deadline = pr.order.pickup_deadline;
   wr.revenue = pr.revenue;
   wr.trip_seconds = pr.trip_seconds;
   wr.pickup_region = pr.pickup_region;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,15 +29,15 @@ namespace {
 /// keeps the unscripted path bit-identical.
 class ScenarioState {
  public:
-  ScenarioState(const ScenarioScript* script, const Workload& workload,
-                const Grid& grid)
+  ScenarioState(const ScenarioScript* script,
+                const std::vector<DriverSpec>& drivers, const Grid& grid)
       : script_(script), grid_(grid) {
     if (script_ == nullptr || script_->empty()) return;
     events_ = EventStream(*script_);
     surge_active_.assign(script_->surges().size(), false);
-    driver_index_.reserve(workload.drivers.size());
-    for (size_t j = 0; j < workload.drivers.size(); ++j) {
-      driver_index_.emplace(workload.drivers[j].id, static_cast<int>(j));
+    driver_index_.reserve(drivers.size());
+    for (size_t j = 0; j < drivers.size(); ++j) {
+      driver_index_.emplace(drivers[j].id, static_cast<int>(j));
     }
   }
 
@@ -188,12 +189,29 @@ Simulator::Simulator(const SimConfig& config, const Workload& workload,
                      const Grid& grid, const TravelCostModel& cost_model,
                      const DemandForecast* forecast)
     : config_(config),
-      workload_(workload),
+      workload_(&workload),
+      drivers_(workload.drivers),
       grid_(grid),
       cost_model_(cost_model),
       forecast_(forecast) {
   // An invalid config this deep is a programming error (SimulationBuilder
   // reports it as a Status before the engine is ever constructed).
+  if (Status st = config_.Validate(); !st.ok()) {
+    MRVD_LOG(Error) << "invalid SimConfig: " << st;
+    std::abort();
+  }
+}
+
+Simulator::Simulator(const SimConfig& config, OrderSource& source,
+                     const std::vector<DriverSpec>& drivers, const Grid& grid,
+                     const TravelCostModel& cost_model,
+                     const DemandForecast* forecast)
+    : config_(config),
+      source_(&source),
+      drivers_(drivers),
+      grid_(grid),
+      cost_model_(cost_model),
+      forecast_(forecast) {
   if (Status st = config_.Validate(); !st.ok()) {
     MRVD_LOG(Error) << "invalid SimConfig: " << st;
     std::abort();
@@ -212,16 +230,30 @@ SimResult Simulator::Run(Dispatcher& dispatcher, const ScenarioScript& script,
 SimResult Simulator::RunImpl(Dispatcher& dispatcher,
                              const ScenarioScript* script,
                              SimObserver* extra) {
-  MetricsCollector metrics(dispatcher.name(),
-                           static_cast<int64_t>(workload_.orders.size()),
+  // Materialised runs wrap the workload's vector in a per-run source, so
+  // both paths drive the identical OrderBook injection loop; streamed
+  // sources are rewound so every Run sees the stream from the top.
+  std::optional<MaterializedOrderSource> local_source;
+  OrderSource* source = source_;
+  if (source == nullptr) {
+    local_source.emplace(workload_->orders);
+    source = &*local_source;
+  } else if (Status st = source->Rewind(); !st.ok()) {
+    // A source that cannot reach its first record has no meaningful run;
+    // this is an environment failure on par with an invalid config.
+    MRVD_LOG(Error) << "order source rewind failed: " << st;
+    std::abort();
+  }
+
+  MetricsCollector metrics(dispatcher.name(), source->total_orders(),
                            grid_.num_regions(), config_.record_idle_samples);
   ObserverList observers;
   observers.Add(&metrics);
   observers.Add(extra);
 
-  FleetState fleet(workload_, grid_);
-  OrderBook orders(workload_, grid_, cost_model_, config_.alpha);
-  ScenarioState scenario(script, workload_, grid_);
+  FleetState fleet(drivers_, grid_);
+  OrderBook orders(*source, grid_, cost_model_, config_.alpha);
+  ScenarioState scenario(script, drivers_, grid_);
 
   // Parallel dispatch plumbing, created once and reused by every batch.
   int threads = config_.num_threads == 0 ? ThreadPool::HardwareThreads()

@@ -24,6 +24,7 @@
 #include "sim/metrics.h"
 #include "sim/observer.h"
 #include "util/status.h"
+#include "workload/order_source.h"
 #include "workload/types.h"
 
 namespace mrvd {
@@ -106,6 +107,18 @@ class Simulator {
             const Grid& grid, const TravelCostModel& cost_model,
             const DemandForecast* forecast);
 
+  /// Streaming variant: arrivals are pulled from `source` (rewound at the
+  /// top of every Run, so repeated runs see the full stream) and the fleet
+  /// comes from `drivers` — nothing order-sided is ever materialised, so a
+  /// run's peak memory is O(stream buffer + waiting pool). Identical
+  /// inputs produce bit-identical results to the Workload overload. After
+  /// Run(), callers should check source.status(): a stream that fails
+  /// mid-run stops delivering and the remainder counts as unserved.
+  Simulator(const SimConfig& config, OrderSource& source,
+            const std::vector<DriverSpec>& drivers, const Grid& grid,
+            const TravelCostModel& cost_model,
+            const DemandForecast* forecast);
+
   /// Runs the full horizon with `dispatcher` and returns the aggregates.
   /// Can be called repeatedly (state resets each time). `observer` (may be
   /// null) receives every engine event alongside the built-in metrics
@@ -126,7 +139,9 @@ class Simulator {
                     SimObserver* observer);
 
   const SimConfig config_;
-  const Workload& workload_;
+  const Workload* workload_ = nullptr;  ///< null on the streaming path
+  OrderSource* source_ = nullptr;       ///< null on the materialised path
+  const std::vector<DriverSpec>& drivers_;
   const Grid& grid_;
   const TravelCostModel& cost_model_;
   const DemandForecast* forecast_;

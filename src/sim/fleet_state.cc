@@ -2,17 +2,18 @@
 
 namespace mrvd {
 
-FleetState::FleetState(const Workload& workload, const Grid& grid) {
-  drivers_.resize(workload.drivers.size());
+FleetState::FleetState(const std::vector<DriverSpec>& drivers,
+                       const Grid& grid) {
+  drivers_.resize(drivers.size());
   available_by_region_.assign(static_cast<size_t>(grid.num_regions()), 0);
   rejoining_in_window_.assign(static_cast<size_t>(grid.num_regions()), 0);
   fresh_drivers_.reserve(drivers_.size());
   for (size_t j = 0; j < drivers_.size(); ++j) {
     DriverState& d = drivers_[j];
-    d.id = workload.drivers[j].id;
-    d.location = workload.drivers[j].origin;
+    d.id = drivers[j].id;
+    d.location = drivers[j].origin;
     d.region = grid.RegionOf(d.location);
-    d.available_since = workload.drivers[j].join_time;
+    d.available_since = drivers[j].join_time;
     d.busy = false;
     fresh_drivers_.push_back(static_cast<int>(j));
     ++available_by_region_[static_cast<size_t>(d.region)];

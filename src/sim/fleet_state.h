@@ -50,7 +50,9 @@ struct DriverState {
 
 class FleetState {
  public:
-  FleetState(const Workload& workload, const Grid& grid);
+  FleetState(const std::vector<DriverSpec>& drivers, const Grid& grid);
+  FleetState(const Workload& workload, const Grid& grid)
+      : FleetState(workload.drivers, grid) {}
 
   int size() const { return static_cast<int>(drivers_.size()); }
   const DriverState& driver(int j) const {

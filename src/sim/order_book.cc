@@ -5,33 +5,42 @@
 
 namespace mrvd {
 
+OrderBook::OrderBook(OrderSource& source, const Grid& grid,
+                     const TravelCostModel& cost_model, double alpha)
+    : source_(&source), grid_(grid), cost_model_(cost_model), alpha_(alpha) {
+  demand_by_region_.assign(static_cast<size_t>(grid.num_regions()), 0);
+}
+
 OrderBook::OrderBook(const Workload& workload, const Grid& grid,
                      const TravelCostModel& cost_model, double alpha)
-    : workload_(workload), grid_(grid), cost_model_(cost_model), alpha_(alpha) {
+    : owned_source_(std::make_unique<MaterializedOrderSource>(workload.orders)),
+      source_(owned_source_.get()),
+      grid_(grid),
+      cost_model_(cost_model),
+      alpha_(alpha) {
   demand_by_region_.assign(static_cast<size_t>(grid.num_regions()), 0);
 }
 
 void OrderBook::InjectArrivals(double now) {
-  while (next_order_ < workload_.orders.size() &&
-         workload_.orders[next_order_].request_time <= now) {
-    const Order& o = workload_.orders[next_order_];
+  while (const Order* o = source_->Peek()) {
+    if (o->request_time > now) break;
     PendingRider pr;
-    pr.order = &o;
-    pr.trip_seconds = cost_model_.TravelSeconds(o.pickup, o.dropoff);
+    pr.order = *o;
+    pr.trip_seconds = cost_model_.TravelSeconds(o->pickup, o->dropoff);
     pr.revenue = alpha_ * pr.trip_seconds;
-    pr.pickup_region = grid_.RegionOf(o.pickup);
-    pr.dropoff_region = grid_.RegionOf(o.dropoff);
+    pr.pickup_region = grid_.RegionOf(o->pickup);
+    pr.dropoff_region = grid_.RegionOf(o->dropoff);
     waiting_.push_back(pr);
     ++demand_by_region_[static_cast<size_t>(pr.pickup_region)];
-    ++next_order_;
+    source_->Pop();
   }
 }
 
 void OrderBook::RemoveExpired(double now, SimObserver* observer) {
   std::erase_if(waiting_, [&](const PendingRider& pr) {
-    if (pr.order->pickup_deadline < now) {
+    if (pr.order.pickup_deadline < now) {
       --demand_by_region_[static_cast<size_t>(pr.pickup_region)];
-      if (observer != nullptr) observer->OnRiderReneged(now, *pr.order);
+      if (observer != nullptr) observer->OnRiderReneged(now, pr.order);
       return true;
     }
     return false;
@@ -44,10 +53,10 @@ int64_t OrderBook::CancelRiders(const std::vector<OrderId>& order_ids,
   const std::unordered_set<OrderId> ids(order_ids.begin(), order_ids.end());
   int64_t cancelled = 0;
   std::erase_if(waiting_, [&](const PendingRider& pr) {
-    if (pr.served || !ids.contains(pr.order->id)) return false;
+    if (pr.served || !ids.contains(pr.order.id)) return false;
     --demand_by_region_[static_cast<size_t>(pr.pickup_region)];
     ++cancelled;
-    if (observer != nullptr) observer->OnRiderCancelled(now, *pr.order);
+    if (observer != nullptr) observer->OnRiderCancelled(now, pr.order);
     return true;
   });
   return cancelled;

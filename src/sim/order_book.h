@@ -12,19 +12,25 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "geo/grid.h"
 #include "geo/travel.h"
 #include "sim/observer.h"
+#include "workload/order_source.h"
 #include "workload/types.h"
 
 namespace mrvd {
 
 /// A rider waiting to be dispatched, with the derived per-order quantities
-/// (trip cost, revenue, regions) computed once at injection.
+/// (trip cost, revenue, regions) computed once at injection. Owns its
+/// Order record: with a streamed source the day is never materialised, so
+/// there is nothing stable to point into — the pool (plus the stream
+/// buffer) IS the order-side working set, which is what makes peak memory
+/// O(batch) instead of O(day).
 struct PendingRider {
-  const Order* order = nullptr;
+  Order order;
   double trip_seconds = 0.0;
   double revenue = 0.0;
   RegionId pickup_region = kInvalidRegion;
@@ -35,7 +41,13 @@ struct PendingRider {
 class OrderBook {
  public:
   /// `alpha` is the travel-fee rate (revenue = alpha * trip_seconds). All
-  /// referenced objects must outlive the book.
+  /// referenced objects must outlive the book. `source` supplies arrivals
+  /// in request-time order (materialised or streamed).
+  OrderBook(OrderSource& source, const Grid& grid,
+            const TravelCostModel& cost_model, double alpha);
+
+  /// Convenience for materialised workloads: wraps `workload.orders` in an
+  /// internally owned MaterializedOrderSource.
   OrderBook(const Workload& workload, const Grid& grid,
             const TravelCostModel& cost_model, double alpha);
 
@@ -73,26 +85,25 @@ class OrderBook {
     return demand_by_region_;
   }
 
-  /// True once every order of the workload has been injected.
-  bool Exhausted() const {
-    return next_order_ >= workload_.orders.size();
-  }
+  /// True once every order of the source has been injected. (A failed
+  /// stream keeps remaining() > 0, so the engine's early-exit never
+  /// mistakes an I/O error for a completed day.)
+  bool Exhausted() const { return source_->remaining() == 0; }
 
   /// Orders that will never be dispatched if the run stops now: the
   /// still-waiting pool plus orders whose request time was never reached.
   int64_t UnservedRemainder() const {
-    return static_cast<int64_t>(waiting_.size()) +
-           static_cast<int64_t>(workload_.orders.size() - next_order_);
+    return static_cast<int64_t>(waiting_.size()) + source_->remaining();
   }
 
  private:
-  const Workload& workload_;
+  std::unique_ptr<MaterializedOrderSource> owned_source_;  ///< may be null
+  OrderSource* source_;
   const Grid& grid_;
   const TravelCostModel& cost_model_;
   const double alpha_;
 
   std::deque<PendingRider> waiting_;
-  size_t next_order_ = 0;
   std::vector<int64_t> demand_by_region_;
 };
 

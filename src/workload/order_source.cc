@@ -1,0 +1,42 @@
+#include "workload/order_source.h"
+
+#include <algorithm>
+
+namespace mrvd {
+
+MaterializedOrderSource::MaterializedOrderSource(
+    const std::vector<Order>& orders, int64_t max_orders)
+    : orders_(&orders), limit_(static_cast<int64_t>(orders.size())) {
+  if (max_orders > 0) limit_ = std::min(limit_, max_orders);
+}
+
+const Order* MaterializedOrderSource::Peek() {
+  if (next_ >= limit_) return nullptr;
+  return &(*orders_)[static_cast<size_t>(next_)];
+}
+
+void MaterializedOrderSource::Pop() {
+  if (next_ < limit_) ++next_;
+}
+
+Status MaterializedOrderSource::Rewind() {
+  next_ = 0;
+  return Status::OK();
+}
+
+StreamingOrderSource::StreamingOrderSource(
+    std::unique_ptr<OrderStreamReader> reader, int64_t max_orders)
+    : reader_(std::move(reader)), limit_(reader_->info().order_count) {
+  if (max_orders > 0) limit_ = std::min(limit_, max_orders);
+}
+
+const Order* StreamingOrderSource::Peek() {
+  if (reader_->consumed() >= limit_) return nullptr;
+  return reader_->Peek();
+}
+
+void StreamingOrderSource::Pop() {
+  if (reader_->consumed() < limit_) reader_->Pop();
+}
+
+}  // namespace mrvd

@@ -1,0 +1,89 @@
+// OrderSource: the engine's pull interface for order arrivals. The
+// OrderBook injects arrivals with a Peek()/Pop() loop, so it never needs
+// the day materialised — a MaterializedOrderSource walks today's
+// Workload::orders vector (the default, zero-copy), while a
+// StreamingOrderSource drains an OrderStreamReader so a multi-day
+// city-scale trace simulates with O(stream buffer + waiting pool) peak
+// memory. Both hand out the same records in the same sequence, so results
+// are bit-identical either way (tests/order_stream_test.cc enforces this
+// across the dispatcher roster).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/order_stream.h"
+#include "workload/types.h"
+
+namespace mrvd {
+
+/// Sequential, rewindable supplier of orders sorted by request time.
+class OrderSource {
+ public:
+  virtual ~OrderSource() = default;
+
+  /// The next order, or null when the source is exhausted or failed
+  /// (distinguish via status()). Valid until the next Pop().
+  virtual const Order* Peek() = 0;
+
+  /// Consumes the peeked order (no-op when nothing is peeked).
+  virtual void Pop() = 0;
+
+  /// Orders this source will deliver over a full drain.
+  virtual int64_t total_orders() const = 0;
+
+  /// Orders not yet popped (a peeked-but-unpopped order still counts).
+  virtual int64_t remaining() const = 0;
+
+  /// Resets to the first order so one source can feed repeated runs.
+  virtual Status Rewind() = 0;
+
+  /// Sticky error state; OK for in-memory sources and healthy streams. A
+  /// failed source stops delivering (Peek() == null) with remaining() > 0,
+  /// so a run over it can never silently pass as complete.
+  virtual Status status() const { return Status::OK(); }
+};
+
+/// Borrows a caller-owned order vector (must outlive the source).
+class MaterializedOrderSource final : public OrderSource {
+ public:
+  /// `max_orders` > 0 caps the drain, mirroring a streamed cap.
+  explicit MaterializedOrderSource(const std::vector<Order>& orders,
+                                   int64_t max_orders = 0);
+
+  const Order* Peek() override;
+  void Pop() override;
+  int64_t total_orders() const override { return limit_; }
+  int64_t remaining() const override { return limit_ - next_; }
+  Status Rewind() override;
+
+ private:
+  const std::vector<Order>* orders_;
+  int64_t limit_;
+  int64_t next_ = 0;
+};
+
+/// Owns an OrderStreamReader and drains its order section.
+class StreamingOrderSource final : public OrderSource {
+ public:
+  /// `max_orders` > 0 caps the drain below the trace's order count.
+  explicit StreamingOrderSource(std::unique_ptr<OrderStreamReader> reader,
+                                int64_t max_orders = 0);
+
+  const Order* Peek() override;
+  void Pop() override;
+  int64_t total_orders() const override { return limit_; }
+  int64_t remaining() const override { return limit_ - reader_->consumed(); }
+  Status Rewind() override { return reader_->Rewind(); }
+  Status status() const override { return reader_->status(); }
+
+  const OrderStreamReader& reader() const { return *reader_; }
+
+ private:
+  std::unique_ptr<OrderStreamReader> reader_;
+  int64_t limit_;
+};
+
+}  // namespace mrvd

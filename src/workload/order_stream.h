@@ -1,0 +1,187 @@
+// Versioned binary order-trace format plus a buffered streaming reader —
+// the city-scale ingestion path. A trace is a complete problem instance in
+// one flat file:
+//
+//   [64-byte header]  magic "MRVDTRC\n", format version, driver/order
+//                     counts, horizon and request-time span
+//   [driver section]  driver_count fixed 32-byte records (id, origin,
+//                     join time) — materialised eagerly on open (fleets
+//                     are thousands, not millions)
+//   [order section]   order_count fixed 56-byte records (id, request
+//                     time, pickup, dropoff, deadline), sorted by
+//                     request time — streamed through a refill-on-drain
+//                     buffer, so a multi-day city trace simulates with
+//                     O(buffer + waiting pool) memory instead of O(day)
+//
+// All fields are little-endian (enforced at compile time; every target we
+// build for is little-endian). Records are fixed-size so the expected file
+// length is a pure function of the header — OrderStreamReader::Open
+// cross-checks it against the actual size and reports truncation with the
+// missing-record count up front, instead of a surprise EOF mid-run.
+// Writers go through temp-then-rename, so readers (and crashed converts)
+// never observe a half-written trace.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/tlc_parser.h"
+#include "workload/types.h"
+
+namespace mrvd {
+
+static_assert(std::endian::native == std::endian::little,
+              "the order-trace format is little-endian on disk; add byte "
+              "swapping before building for a big-endian target");
+
+inline constexpr char kOrderTraceMagic[8] = {'M', 'R', 'V', 'D',
+                                             'T', 'R', 'C', '\n'};
+inline constexpr uint32_t kOrderTraceVersion = 1;
+inline constexpr size_t kOrderTraceHeaderBytes = 64;
+inline constexpr size_t kDriverRecordBytes = 32;  ///< id, lat, lon, join
+inline constexpr size_t kOrderRecordBytes = 56;   ///< id, t, s_i, e_i, τ
+inline constexpr size_t kDefaultStreamBufferBytes = size_t{1} << 20;
+
+/// Decoded trace header.
+struct OrderTraceInfo {
+  uint32_t version = kOrderTraceVersion;
+  int64_t driver_count = 0;
+  int64_t order_count = 0;
+  double horizon_seconds = 0.0;      ///< Workload::horizon_seconds
+  double first_request_time = 0.0;   ///< 0 when the trace has no orders
+  double last_request_time = 0.0;
+  int64_t file_bytes = 0;            ///< total on-disk size (derived)
+};
+
+/// Sequential trace writer. Drivers first, then orders in non-decreasing
+/// request-time order (enforced — the reader and the engine rely on it).
+/// Everything lands in `path + ".tmp"`; Finish() backpatches the header
+/// with the final counts/span and renames into place. A writer destroyed
+/// without Finish() removes its temp file, leaving no trace behind.
+class OrderStreamWriter {
+ public:
+  /// `horizon_seconds` <= 0 derives the horizon at Finish() as the last
+  /// request time plus the default patience window (20 min).
+  static StatusOr<std::unique_ptr<OrderStreamWriter>> Create(
+      const std::string& path, double horizon_seconds);
+
+  ~OrderStreamWriter();
+  OrderStreamWriter(const OrderStreamWriter&) = delete;
+  OrderStreamWriter& operator=(const OrderStreamWriter&) = delete;
+
+  /// Fails once any order has been written (the driver section precedes
+  /// the order section on disk).
+  Status AddDriver(const DriverSpec& driver);
+
+  /// Fails when `order.request_time` is NaN or decreases.
+  Status AddOrder(const Order& order);
+
+  /// Backpatches the header and renames the temp file onto `path`.
+  Status Finish();
+
+  int64_t drivers_written() const { return drivers_written_; }
+  int64_t orders_written() const { return orders_written_; }
+
+ private:
+  OrderStreamWriter(std::FILE* file, std::string path, std::string tmp_path,
+                    double horizon_seconds);
+
+  std::FILE* file_;  ///< null once finished or failed
+  std::string path_;
+  std::string tmp_path_;
+  double horizon_seconds_;
+  int64_t drivers_written_ = 0;
+  int64_t orders_written_ = 0;
+  double first_request_ = 0.0;
+  double last_request_ = 0.0;
+};
+
+/// Buffered sequential reader over a trace's order section. Open()
+/// validates magic/version/size and materialises the driver section; the
+/// order section is then consumed through Peek()/Pop() with block reads
+/// that refill the buffer only when it drains, independent of record
+/// alignment (a record may straddle any number of refills — buffer sizes
+/// down to one byte work, they are just slow).
+class OrderStreamReader {
+ public:
+  static StatusOr<std::unique_ptr<OrderStreamReader>> Open(
+      const std::string& path,
+      size_t buffer_bytes = kDefaultStreamBufferBytes);
+
+  ~OrderStreamReader();
+  OrderStreamReader(const OrderStreamReader&) = delete;
+  OrderStreamReader& operator=(const OrderStreamReader&) = delete;
+
+  const OrderTraceInfo& info() const { return info_; }
+  const std::string& path() const { return path_; }
+  const std::vector<DriverSpec>& drivers() const { return drivers_; }
+
+  /// The next order, or null when the stream is exhausted OR an I/O /
+  /// corruption error occurred — distinguish via status(). The pointer is
+  /// valid until the next Pop().
+  const Order* Peek();
+
+  /// Consumes the peeked order (no-op if nothing is peeked).
+  void Pop();
+
+  /// Orders consumed (popped) so far.
+  int64_t consumed() const { return consumed_; }
+
+  /// Sticky stream error: truncated-on-disk reads, out-of-order records.
+  /// OK while the stream is merely exhausted.
+  const Status& status() const { return status_; }
+
+  /// Seeks back to the first order record and clears the error state, so
+  /// one reader can feed repeated runs.
+  Status Rewind();
+
+ private:
+  OrderStreamReader(std::FILE* file, std::string path, size_t buffer_bytes);
+  bool ReadRecord(unsigned char* out);  ///< false: sets status_
+
+  std::FILE* file_;
+  std::string path_;
+  OrderTraceInfo info_;
+  std::vector<DriverSpec> drivers_;
+  int64_t orders_offset_ = 0;  ///< file offset of the first order record
+
+  std::vector<unsigned char> buffer_;
+  size_t buf_pos_ = 0;
+  size_t buf_end_ = 0;
+
+  Order current_;
+  bool current_valid_ = false;
+  int64_t consumed_ = 0;
+  double prev_request_ = 0.0;
+  Status status_;
+};
+
+/// Writes a materialised workload as a trace (orders must already be
+/// sorted by request time, which Workload guarantees).
+Status WriteOrderTrace(const std::string& path, const Workload& workload);
+
+/// Materialises a trace back into a Workload (drivers, orders, horizon).
+/// `max_orders` > 0 caps the order section, mirroring a streamed run with
+/// the same cap.
+StatusOr<Workload> ReadOrderTrace(const std::string& path,
+                                  int64_t max_orders = 0);
+
+/// Header-only peek: counts, horizon and time span without touching the
+/// record sections (still validates magic/version/file size).
+StatusOr<OrderTraceInfo> ReadOrderTraceInfo(const std::string& path);
+
+/// TLC-CSV → trace converter: parses the CSV line-buffered (never holding
+/// the file text in memory; the kept order records are materialised once
+/// for the format's sorted-by-request-time guarantee) and writes the trace
+/// temp-then-rename. `stats` (may be null) receives the parse counters.
+Status ConvertTlcCsvToTrace(const std::string& csv_path,
+                            const std::string& trace_path, int num_drivers,
+                            const TlcParseOptions& options = {},
+                            TlcParseStats* stats = nullptr);
+
+}  // namespace mrvd

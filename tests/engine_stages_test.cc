@@ -242,9 +242,9 @@ TEST_F(OrderBookTest, InjectRenegeServeCompactKeepsCountsAndOrder) {
   ExpectDemandMatchesRecount(book);
   // Derived quantities are computed once at injection.
   const PendingRider& first = book.waiting().front();
-  EXPECT_EQ(first.order->id, 0);
+  EXPECT_EQ(first.order.id, 0);
   EXPECT_EQ(first.trip_seconds,
-            cost_.TravelSeconds(first.order->pickup, first.order->dropoff));
+            cost_.TravelSeconds(first.order.pickup, first.order.dropoff));
   EXPECT_EQ(first.revenue, 2.0 * first.trip_seconds);
 
   // Order 1 (deadline 25) reneges at now = 30; the observer hears it.
@@ -268,7 +268,7 @@ TEST_F(OrderBookTest, InjectRenegeServeCompactKeepsCountsAndOrder) {
   book.CompactServed();
   ASSERT_EQ(book.waiting().size(), 3u);
   std::vector<OrderId> left;
-  for (const PendingRider& pr : book.waiting()) left.push_back(pr.order->id);
+  for (const PendingRider& pr : book.waiting()) left.push_back(pr.order.id);
   EXPECT_EQ(left, (std::vector<OrderId>{2, 4, 5}));
   ExpectDemandMatchesRecount(book);
   EXPECT_EQ(book.UnservedRemainder(), 3);
@@ -312,7 +312,7 @@ TEST_F(OrderBookTest, ServeAndRenegeDistinctRidersInTheSameBatch) {
   book.CompactServed();
   ASSERT_EQ(book.waiting().size(), 2u);
   std::vector<OrderId> left;
-  for (const PendingRider& pr : book.waiting()) left.push_back(pr.order->id);
+  for (const PendingRider& pr : book.waiting()) left.push_back(pr.order.id);
   EXPECT_EQ(left, (std::vector<OrderId>{2, 3}));
   ExpectDemandMatchesRecount(book);
   EXPECT_EQ(book.UnservedRemainder(), 2);

@@ -1,0 +1,105 @@
+// TLC-CSV → binary order-trace converter (see workload/order_stream.h for
+// the format). Run once per dataset; every simulator entry point can then
+// stream the day with O(batch) memory instead of re-parsing (and holding)
+// the whole CSV:
+//
+//   ./build/tools/tlc_to_trace trips_2013-05.csv may28.trace --day 27
+//   ./build/examples/nyc_day_simulation --stream may28.trace
+//   ./build/examples/campaign run /tmp/c --workloads "trace:path=may28.trace"
+//
+// The CSV is parsed line-buffered; peak converter memory is O(kept orders)
+// for the format's sorted-by-request-time guarantee, never O(file text).
+// The trace is written temp-then-rename, so a killed convert leaves no
+// half-written file behind.
+#include <climits>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "util/strings.h"
+#include "workload/order_stream.h"
+
+using namespace mrvd;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <trips.csv> <out.trace> [options]\n"
+      "\n"
+      "options:\n"
+      "  --drivers N     driver origins sampled from kept pickups "
+      "(default 3000)\n"
+      "  --day D         keep only day D of the file, 0-indexed from the\n"
+      "                  first timestamp (default -1 = keep all)\n"
+      "  --max-orders N  hard cap on converted orders (default 0 = all)\n"
+      "  --seed S        deadline-noise / driver-origin seed\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  const std::string csv_path = argv[1];
+  const std::string trace_path = argv[2];
+  int drivers = 3000;
+  TlcParseOptions options;
+  for (int i = 3; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto numeric = [&](const char* flag, int64_t lo, int64_t hi) -> int64_t {
+      StatusOr<int64_t> v = ParseInt64(value(flag));
+      if (!v.ok() || *v < lo || *v > hi) {
+        std::fprintf(stderr, "bad value for %s\n", flag);
+        std::exit(2);
+      }
+      return *v;
+    };
+    if (std::strcmp(argv[i], "--drivers") == 0) {
+      drivers = static_cast<int>(numeric("--drivers", 0, INT_MAX));
+    } else if (std::strcmp(argv[i], "--day") == 0) {
+      options.day_filter = static_cast<int>(numeric("--day", -1, INT_MAX));
+    } else if (std::strcmp(argv[i], "--max-orders") == 0) {
+      options.max_orders = numeric("--max-orders", 0, INT64_MAX);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed =
+          static_cast<uint64_t>(numeric("--seed", INT64_MIN, INT64_MAX));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+
+  TlcParseStats stats;
+  Status st =
+      ConvertTlcCsvToTrace(csv_path, trace_path, drivers, options, &stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "convert failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  StatusOr<OrderTraceInfo> info = ReadOrderTraceInfo(trace_path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "written trace fails validation: %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "%s: %lld rows read, %lld bad, %lld out of box, %lld kept\n"
+      "%s: %lld orders + %lld drivers in %lld bytes, t=[%.0f, %.0f]s, "
+      "horizon %.0fs\n",
+      csv_path.c_str(), (long long)stats.rows_total, (long long)stats.rows_bad,
+      (long long)stats.rows_out_of_box, (long long)stats.rows_kept,
+      trace_path.c_str(), (long long)info->order_count,
+      (long long)info->driver_count, (long long)info->file_bytes,
+      info->first_request_time, info->last_request_time,
+      info->horizon_seconds);
+  return 0;
+}
