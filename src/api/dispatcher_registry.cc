@@ -71,6 +71,8 @@ std::string DeclaredParamList(const std::vector<DispatcherParam>& params) {
 
 DispatcherRegistry& DispatcherRegistry::Global() {
   static DispatcherRegistry* registry = [] {
+    // mrvd-lint: allow(naked-new) — deliberately leaked singleton; a static
+    // object would be destroyed at exit while worker threads may still read it
     auto* r = new DispatcherRegistry();
     RegisterBuiltins(r);
     return r;

@@ -558,6 +558,8 @@ void RegisterBuiltinScenarios(ScenarioCatalog* c) {
 
 WorkloadCatalog& WorkloadCatalog::Global() {
   static WorkloadCatalog* catalog = [] {
+    // mrvd-lint: allow(naked-new) — deliberately leaked singleton; avoids
+    // static-destruction order hazards for late registry lookups
     auto* c = new WorkloadCatalog();
     RegisterBuiltinWorkloads(c);
     return c;
@@ -573,6 +575,8 @@ StatusOr<Simulation> WorkloadCatalog::Build(const std::string& spec) const {
 
 ScenarioCatalog& ScenarioCatalog::Global() {
   static ScenarioCatalog* catalog = [] {
+    // mrvd-lint: allow(naked-new) — deliberately leaked singleton; avoids
+    // static-destruction order hazards for late registry lookups
     auto* c = new ScenarioCatalog();
     RegisterBuiltinScenarios(c);
     return c;

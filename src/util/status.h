@@ -27,7 +27,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error result. Cheap to copy in the OK case (no allocation).
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures (a campaign
+/// artifact that never landed, a stream that died mid-run), so the compiler
+/// flags every ignored return; discard deliberately with `(void)` plus a
+/// comment saying why the failure cannot matter.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -85,8 +89,10 @@ Status IoErrorFromErrno(const std::string& context);
 
 /// Either a value of type T or an error Status. Mirrors arrow::Result /
 /// absl::StatusOr with the subset of API this project needs.
+/// [[nodiscard]] for the same reason as Status: an ignored StatusOr is an
+/// ignored failure.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value (success).
   StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}

@@ -1,0 +1,60 @@
+// Clang thread-safety-analysis attribute macros (no-ops on other
+// compilers). Annotating which mutex guards which member turns the locking
+// discipline into a compile-time check: the CI static-analysis job builds
+// the library with clang's `-Wthread-safety -Werror`, so an unlocked access
+// to annotated state fails the build instead of waiting for TSan to catch
+// it at runtime.
+//
+// Usage (see util/mutex.h for the annotated Mutex/MutexLock/CondVar types):
+//
+//   Mutex mu_;
+//   std::deque<Task> queue_ MRVD_GUARDED_BY(mu_);
+//
+//   void Drain() MRVD_REQUIRES(mu_);   // caller must hold mu_
+//
+// Names follow the standard clang spelling with an MRVD_ prefix; see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for semantics.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MRVD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MRVD_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a lockable capability (e.g. a mutex wrapper).
+#define MRVD_CAPABILITY(name) MRVD_THREAD_ANNOTATION(capability(name))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define MRVD_SCOPED_CAPABILITY MRVD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read or written while holding `mu`.
+#define MRVD_GUARDED_BY(mu) MRVD_THREAD_ANNOTATION(guarded_by(mu))
+
+/// Pointee may only be accessed while holding `mu`.
+#define MRVD_PT_GUARDED_BY(mu) MRVD_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+/// Function requires the caller to hold the given capabilities.
+#define MRVD_REQUIRES(...) \
+  MRVD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the given capabilities (held on return).
+#define MRVD_ACQUIRE(...) \
+  MRVD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the given capabilities (must be held on entry).
+#define MRVD_RELEASE(...) \
+  MRVD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define MRVD_TRY_ACQUIRE(result, ...) \
+  MRVD_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must NOT hold the given capabilities (deadlock prevention).
+#define MRVD_EXCLUDES(...) MRVD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables analysis for one function. Use only with a
+/// comment explaining why the analysis cannot see the invariant.
+#define MRVD_NO_THREAD_SAFETY_ANALYSIS \
+  MRVD_THREAD_ANNOTATION(no_thread_safety_analysis)

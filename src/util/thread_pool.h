@@ -7,14 +7,15 @@
 // the parallel code can be written against one interface.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mrvd {
 
@@ -41,7 +42,7 @@ class ThreadPool {
 
   /// Enqueues `fn` (FIFO). The future rethrows any exception `fn` threw.
   /// Inline pools run `fn` before returning.
-  std::future<void> Submit(std::function<void()> fn);
+  std::future<void> Submit(std::function<void()> fn) MRVD_EXCLUDES(mu_);
 
   /// Runs fn(0..n-1), blocking until all complete. Iterations are spread
   /// over the workers; the first exception thrown (lowest index wins) is
@@ -49,14 +50,14 @@ class ThreadPool {
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() MRVD_EXCLUDES(mu_);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ MRVD_GUARDED_BY(mu_);
+  bool stopping_ MRVD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mrvd

@@ -132,6 +132,8 @@ StatusOr<std::unique_ptr<OrderStreamWriter>> OrderStreamWriter::Create(
     return st;
   }
   return std::unique_ptr<OrderStreamWriter>(
+      // mrvd-lint: allow(naked-new) — private ctor, make_unique can't reach it;
+      // the result is owned by the unique_ptr on the surrounding line
       new OrderStreamWriter(file, path, std::move(tmp), horizon_seconds));
 }
 
@@ -244,6 +246,8 @@ StatusOr<std::unique_ptr<OrderStreamReader>> OrderStreamReader::Open(
     return IoErrorFromErrno("could not open order trace '" + path + "'");
   }
   std::unique_ptr<OrderStreamReader> reader(
+      // mrvd-lint: allow(naked-new) — private ctor, make_unique can't reach it;
+      // the result is owned by the unique_ptr on the surrounding line
       new OrderStreamReader(file, path, buffer_bytes));
 
   unsigned char header[kOrderTraceHeaderBytes];

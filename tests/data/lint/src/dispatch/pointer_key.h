@@ -1,0 +1,16 @@
+// Fixture: pointer-keyed ordered containers and a header namespace leak.
+// Never compiled.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+using namespace std;  // line 9: using-namespace-header
+
+struct Driver;
+
+map<const Driver*, int> assignments;          // line 13: pointer-key
+set<Driver*> idle;                            // line 14: pointer-key
+map<string, int> by_name;                     // value key: no finding
+set<int> ids;                                 // value key: no finding

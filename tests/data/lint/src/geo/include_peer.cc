@@ -1,0 +1,4 @@
+// Fixture: equal-rank cross-include — geo and util are both rank 0 and
+// mutually independent; neither may include the other. Never compiled.
+#include "util/logging.h"  // line 3: include-layering
+#include "geo/haversine.h"  // own layer spelled with its prefix: no finding

@@ -1,0 +1,12 @@
+// Fixture: hardware_concurrency outside the sanctioned wrapper, plus its
+// suppressed form. Never compiled.
+#include <thread>
+
+int Bad() {
+  return static_cast<int>(std::thread::hardware_concurrency());  // line 6
+}
+
+int Allowed() {
+  // mrvd-lint: allow(hardware-concurrency) — fixture for the allow path
+  return static_cast<int>(std::thread::hardware_concurrency());
+}

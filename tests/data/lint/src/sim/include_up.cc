@@ -1,0 +1,5 @@
+// Fixture: adjacent upward include — sim (rank 3) reaching into dispatch
+// (rank 4). Never compiled; the included paths need not exist.
+#include "dispatch/pipeline.h"  // line 3: include-layering
+#include "geo/point.h"          // downward (rank 0): no finding
+#include "sim_local_header.h"   // same-directory include: no finding

@@ -1,0 +1,41 @@
+// Fixture: unordered-iteration must fire in the result-affecting sim layer,
+// and the suppression syntax must silence it. Never compiled.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Engine {
+  std::unordered_map<int, double> counts_;
+  std::unordered_set<long> seen_;
+  std::vector<std::unordered_map<int, double>> caches_;
+
+  double Sum() const {
+    double total = 0.0;
+    for (const auto& kv : counts_) {  // line 14: finding
+      total += kv.second;
+    }
+    return total;
+  }
+
+  long First() const {
+    auto it = seen_.begin();  // line 21: finding
+    return it == seen_.end() ? 0 : *it;
+  }
+
+  int Shards() const {
+    int n = 0;
+    for (const auto& cache : caches_) {  // outer vector: ordered, no finding
+      n += static_cast<int>(cache.size());
+    }
+    return n;
+  }
+
+  double SumAllowed() const {
+    double total = 0.0;
+    // mrvd-lint: allow(unordered-iteration) — commutative sum, order-free
+    for (const auto& kv : counts_) {
+      total += kv.second;
+    }
+    return total;
+  }
+};

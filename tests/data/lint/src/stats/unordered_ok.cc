@@ -1,0 +1,11 @@
+// Fixture: the identical iteration is fine in stats — not a result-affecting
+// layer (stats consumers sort before aggregating). Never compiled.
+#include <unordered_map>
+
+double Sum(const std::unordered_map<int, double>& counts) {
+  double total = 0.0;
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  return total;
+}

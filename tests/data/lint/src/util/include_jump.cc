@@ -1,0 +1,3 @@
+// Fixture: long upward jump — util (rank 0, the foundation) including
+// campaign (rank 6, the top). Never compiled.
+#include "campaign/campaign_runner.h"  // line 3: include-layering

@@ -1,0 +1,18 @@
+// Fixture: naked new, inline-suppressed new, and the word "new" in
+// comments/strings (which must not fire). Never compiled.
+#include <memory>
+#include <string>
+
+struct Widget {};
+
+Widget* Make() {
+  return new Widget();  // line 9: naked-new
+}
+
+std::unique_ptr<Widget> MakeOwned() {
+  // mrvd-lint: allow(naked-new) — exercising the same-line ownership idiom
+  return std::unique_ptr<Widget>(new Widget());
+}
+
+// A brand new comment mentioning new should never fire.
+std::string Label() { return "new"; }

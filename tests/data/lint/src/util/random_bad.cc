@@ -1,0 +1,11 @@
+// Fixture: every banned randomness source. Never compiled.
+#include <cstdlib>
+#include <random>
+
+int Draw() {
+  std::srand(42);                 // line 6: banned-random (srand)
+  int a = std::rand();            // line 7: banned-random (rand)
+  std::random_device dev;         // line 8: banned-random (random_device)
+  int expand = a + static_cast<int>(dev());
+  return expand;                  // "expand" must not trip the rand matcher
+}

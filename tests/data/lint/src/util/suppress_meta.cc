@@ -1,0 +1,20 @@
+// Fixture: the three meta rules keeping suppressions honest. Never compiled.
+#include <memory>
+
+struct Gadget {};
+
+Gadget* A() {
+  // mrvd-lint: allow(no-such-rule) — line 7: unknown-rule (and the naked-new
+  // below stays unsuppressed)
+  return new Gadget();  // line 9: naked-new still fires
+}
+
+Gadget* B() {
+  // mrvd-lint: allow(naked-new)
+  return new Gadget();  // suppressed, but line 13: suppression-needs-reason
+}
+
+int C() {
+  // mrvd-lint: allow(naked-new) — line 18: unused-suppression (nothing here)
+  return 7;
+}

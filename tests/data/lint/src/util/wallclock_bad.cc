@@ -1,0 +1,16 @@
+// Fixture: every banned wall-clock read. Never compiled.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+long Now() {
+  auto t1 = std::chrono::steady_clock::now();   // line 7: banned-wallclock
+  auto t2 = std::chrono::system_clock::now();   // line 8: banned-wallclock
+  long t3 = time(nullptr);                      // line 9: banned-wallclock
+  long t4 = clock();                            // line 10: banned-wallclock
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);                   // line 12: banned-wallclock
+  long downtime = t3;  // "downtime" must not trip the time() matcher
+  return t1.time_since_epoch().count() + t2.time_since_epoch().count() +
+         downtime + t4 + tv.tv_sec;
+}

@@ -1,0 +1,25 @@
+// Fixture: a clean file — downward includes, ordered containers, smart
+// pointers, no clocks, no randomness. Must produce zero findings.
+#include "geo/point.h"
+#include "util/status.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Order {};
+
+struct Batch {
+  std::unordered_map<long, Order> by_id;  // lookups only; never iterated
+  std::map<std::string, int> counts;
+
+  std::unique_ptr<Order> Take(long id) {
+    auto it = by_id.find(id);
+    if (it == by_id.end()) return nullptr;
+    auto out = std::make_unique<Order>(it->second);
+    by_id.erase(it);
+    return out;
+  }
+};

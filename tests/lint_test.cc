@@ -1,0 +1,280 @@
+// mrvd_lint engine tests: every rule fires on its fixture at the expected
+// line, suppressions silence (and mis-suppressions are themselves findings),
+// the --json shape round-trips through util/json_reader, the layer DAG
+// rejects one violation per edge class — and the real src/ tree is clean,
+// so the determinism invariants are enforced by ctest, not just by CI.
+#include "lint/linter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/json_reader.h"
+
+namespace mrvd {
+namespace lint {
+namespace {
+
+const std::string kFixtureRoot = MRVD_TEST_DATA_DIR "/lint/src";
+const std::string kRepoSrc = MRVD_TEST_DATA_DIR "/../../src";
+
+std::vector<Finding> LintFixture(const std::string& rel) {
+  StatusOr<std::vector<Finding>> findings =
+      LintPaths({kFixtureRoot + "/" + rel});
+  EXPECT_TRUE(findings.ok()) << findings.status();
+  return findings.ok() ? *std::move(findings) : std::vector<Finding>{};
+}
+
+/// Findings matching `rule`, in order.
+std::vector<Finding> OfRule(const std::vector<Finding>& all,
+                            const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : all) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+TEST(LintRules, UnorderedIterationFiresInResultAffectingLayer) {
+  std::vector<Finding> all = LintFixture("sim/unordered_iter.cc");
+  std::vector<Finding> hits = OfRule(all, "unordered-iteration");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].line, 14);  // range-for over counts_
+  EXPECT_FALSE(hits[0].suppressed);
+  EXPECT_NE(hits[0].message.find("counts_"), std::string::npos);
+  EXPECT_EQ(hits[1].line, 21);  // seen_.begin() iterator walk
+  EXPECT_FALSE(hits[1].suppressed);
+  EXPECT_NE(hits[1].message.find("seen_"), std::string::npos);
+  EXPECT_EQ(hits[2].line, 36);  // allow(unordered-iteration) above it
+  EXPECT_TRUE(hits[2].suppressed);
+  EXPECT_EQ(hits[2].suppress_reason, "commutative sum, order-free");
+  // The vector<unordered_map> range-for (outer container is ordered) and
+  // .end() calls must not fire: exactly the three findings above.
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(LintRules, UnorderedIterationSilentOutsideResultAffectingLayers) {
+  // Identical iteration shape, but under src/stats/ — not sim, dispatch or
+  // campaign, so traversal order cannot reach a SimResult.
+  EXPECT_TRUE(LintFixture("stats/unordered_ok.cc").empty());
+}
+
+TEST(LintRules, BannedRandom) {
+  std::vector<Finding> all = LintFixture("util/random_bad.cc");
+  std::vector<Finding> hits = OfRule(all, "banned-random");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].line, 6);  // srand
+  EXPECT_EQ(hits[1].line, 7);  // rand
+  EXPECT_EQ(hits[2].line, 8);  // random_device
+  EXPECT_EQ(all.size(), 3u);   // "expand" must not trip the rand matcher
+}
+
+TEST(LintRules, BannedWallclock) {
+  std::vector<Finding> all = LintFixture("util/wallclock_bad.cc");
+  std::vector<Finding> hits = OfRule(all, "banned-wallclock");
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0].line, 7);   // steady_clock::now
+  EXPECT_EQ(hits[1].line, 8);   // system_clock::now
+  EXPECT_EQ(hits[2].line, 9);   // time(nullptr)
+  EXPECT_EQ(hits[3].line, 10);  // clock()
+  EXPECT_EQ(hits[4].line, 12);  // gettimeofday
+  EXPECT_EQ(all.size(), 5u);    // "downtime" must not trip the time matcher
+}
+
+TEST(LintRules, WallclockWhitelistsStopwatchHeader) {
+  // The same clock reads are legal in util/stopwatch.h — the one sanctioned
+  // timing primitive. Lint the real header to pin the whitelist.
+  StatusOr<std::vector<Finding>> findings =
+      LintPaths({kRepoSrc + "/util/stopwatch.h"});
+  ASSERT_TRUE(findings.ok()) << findings.status();
+  EXPECT_TRUE(OfRule(*findings, "banned-wallclock").empty());
+}
+
+TEST(LintRules, PointerKeyAndHeaderNamespace) {
+  std::vector<Finding> all = LintFixture("dispatch/pointer_key.h");
+  std::vector<Finding> keys = OfRule(all, "pointer-key");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0].line, 13);  // map<const Driver*, int>
+  EXPECT_NE(keys[0].message.find("const Driver*"), std::string::npos);
+  EXPECT_EQ(keys[1].line, 14);  // set<Driver*>
+  std::vector<Finding> ns = OfRule(all, "using-namespace-header");
+  ASSERT_EQ(ns.size(), 1u);
+  EXPECT_EQ(ns[0].line, 9);
+  // map<string,...> / set<int> are value-keyed: nothing else fires.
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(LintRules, HardwareConcurrency) {
+  std::vector<Finding> all = LintFixture("sim/hw_concurrency.cc");
+  std::vector<Finding> hits = OfRule(all, "hardware-concurrency");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 6);
+  EXPECT_FALSE(hits[0].suppressed);
+  EXPECT_EQ(hits[1].line, 11);
+  EXPECT_TRUE(hits[1].suppressed);
+  EXPECT_EQ(CountUnsuppressed(all), 1u);
+}
+
+TEST(LintRules, NakedNew) {
+  std::vector<Finding> all = LintFixture("util/naked_new.cc");
+  std::vector<Finding> hits = OfRule(all, "naked-new");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 9);
+  EXPECT_FALSE(hits[0].suppressed);
+  EXPECT_EQ(hits[1].line, 14);
+  EXPECT_TRUE(hits[1].suppressed);
+  // 'new' inside comments and string literals must not fire.
+  EXPECT_EQ(all.size(), 2u);
+}
+
+// ------------------------------------------------------ layer DAG edges
+
+TEST(LintLayering, AdjacentUpwardIncludeRejected) {
+  std::vector<Finding> hits =
+      OfRule(LintFixture("sim/include_up.cc"), "include-layering");
+  ASSERT_EQ(hits.size(), 1u);  // geo/ (down) and same-dir includes pass
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("dispatch/pipeline.h"), std::string::npos);
+}
+
+TEST(LintLayering, LongUpwardJumpRejected) {
+  std::vector<Finding> hits =
+      OfRule(LintFixture("util/include_jump.cc"), "include-layering");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("campaign"), std::string::npos);
+}
+
+TEST(LintLayering, EqualRankCrossIncludeRejected) {
+  // geo and util are both rank 0 and mutually independent; the own-layer
+  // include spelled with its prefix (geo/haversine.h) must still pass.
+  std::vector<Finding> hits =
+      OfRule(LintFixture("geo/include_peer.cc"), "include-layering");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("util/logging.h"), std::string::npos);
+}
+
+// ---------------------------------------------------- suppression hygiene
+
+TEST(LintSuppressions, MetaRulesKeepSuppressionsHonest) {
+  std::vector<Finding> all = LintFixture("util/suppress_meta.cc");
+
+  std::vector<Finding> unknown = OfRule(all, "unknown-rule");
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].line, 7);
+  EXPECT_NE(unknown[0].message.find("no-such-rule"), std::string::npos);
+
+  // A suppression naming an unknown rule suppresses nothing: the naked-new
+  // under it still counts.
+  std::vector<Finding> news = OfRule(all, "naked-new");
+  ASSERT_EQ(news.size(), 2u);
+  EXPECT_EQ(news[0].line, 9);
+  EXPECT_FALSE(news[0].suppressed);
+
+  // A reason-less suppression still applies, but is itself a finding.
+  std::vector<Finding> reasonless = OfRule(all, "suppression-needs-reason");
+  ASSERT_EQ(reasonless.size(), 1u);
+  EXPECT_EQ(reasonless[0].line, 13);
+  EXPECT_EQ(news[1].line, 14);
+  EXPECT_TRUE(news[1].suppressed);
+
+  // A suppression that matches nothing must be deleted.
+  std::vector<Finding> unused = OfRule(all, "unused-suppression");
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0].line, 18);
+}
+
+// ------------------------------------------------------------ clean files
+
+TEST(LintClean, CleanFixtureIsSilent) {
+  EXPECT_TRUE(LintFixture("workload/clean.cc").empty());
+}
+
+TEST(LintClean, RepoSourceTreeHasNoUnsuppressedFindings) {
+  // The headline gate: the real src/ tree must lint clean, so breaking a
+  // determinism invariant fails ctest locally — not just the CI job.
+  StatusOr<std::vector<Finding>> findings = LintPaths({kRepoSrc});
+  ASSERT_TRUE(findings.ok()) << findings.status();
+  EXPECT_EQ(CountUnsuppressed(*findings), 0u)
+      << RenderText(*findings, /*show_suppressed=*/false);
+  // Every suppression in the real tree carries its reason.
+  for (const Finding& f : *findings) {
+    EXPECT_FALSE(f.suppress_reason.empty())
+        << f.file << ":" << f.line << " suppressed without a reason";
+  }
+}
+
+// ------------------------------------------------------------ output shape
+
+TEST(LintOutput, TextFormatIsFileLineRuleMessage) {
+  std::vector<Finding> all = LintFixture("util/include_jump.cc");
+  std::string text = RenderText(all, /*show_suppressed=*/false);
+  EXPECT_NE(text.find("util/include_jump.cc:3: include-layering: "),
+            std::string::npos);
+}
+
+TEST(LintOutput, JsonShapeParsesBack) {
+  std::vector<Finding> all = LintFixture("sim/hw_concurrency.cc");
+  StatusOr<JsonValue> doc =
+      ParseJson(RenderJson(all, /*files_checked=*/1, /*show_suppressed=*/true));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* findings = doc->Find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_TRUE(findings->is_array());
+  ASSERT_EQ(findings->array().size(), 2u);
+
+  const JsonValue& first = findings->array()[0];
+  EXPECT_EQ(first.GetString("rule").value_or(""), "hardware-concurrency");
+  EXPECT_EQ(first.GetInt64("line").value_or(0), 6);
+  const JsonValue* suppressed = first.Find("suppressed");
+  ASSERT_NE(suppressed, nullptr);
+  EXPECT_FALSE(suppressed->bool_value());
+
+  const JsonValue& second = findings->array()[1];
+  ASSERT_NE(second.Find("suppressed"), nullptr);
+  EXPECT_TRUE(second.Find("suppressed")->bool_value());
+  EXPECT_EQ(second.GetString("reason").value_or(""),
+            "fixture for the allow path");
+
+  EXPECT_EQ(doc->GetInt64("files_checked").value_or(-1), 1);
+  EXPECT_EQ(doc->GetInt64("unsuppressed").value_or(-1), 1);
+
+  // Suppressed findings drop out of the default report entirely.
+  StatusOr<JsonValue> quiet =
+      ParseJson(RenderJson(all, 1, /*show_suppressed=*/false));
+  ASSERT_TRUE(quiet.ok()) << quiet.status();
+  EXPECT_EQ(quiet->Find("findings")->array().size(), 1u);
+}
+
+TEST(LintOutput, RuleTableCoversEveryEmittedRule) {
+  // Every rule-id the fixtures can produce must be registered (the docs
+  // table and --list-rules are generated from Rules()).
+  StatusOr<std::vector<Finding>> findings = LintPaths({kFixtureRoot});
+  ASSERT_TRUE(findings.ok()) << findings.status();
+  for (const Finding& f : *findings) {
+    EXPECT_TRUE(IsKnownRule(f.rule)) << f.rule;
+  }
+  // And the fixture tree exercises the full rule set, meta rules included.
+  for (const RuleInfo& r : Rules()) {
+    bool seen = std::any_of(
+        findings->begin(), findings->end(),
+        [&](const Finding& f) { return f.rule == r.id; });
+    EXPECT_TRUE(seen) << "no fixture exercises rule '" << r.id << "'";
+  }
+}
+
+TEST(LintOutput, MissingPathIsAnError) {
+  StatusOr<std::vector<Finding>> findings =
+      LintPaths({kFixtureRoot + "/no/such/path.cc"});
+  EXPECT_FALSE(findings.ok());
+  EXPECT_EQ(findings.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace mrvd
