@@ -2,10 +2,26 @@
 // served-order-maximizing objective — SHORT vs RAND, NEAR, POLAR across the
 // four parameter sweeps (n, t_c, Δ, τ). Expected shape: SHORT serves the
 // most orders in every sweep.
+//
+// Ported onto the campaign subsystem following bench_fig7_vary_n /
+// bench_fig10_vary_tau: the workload-shaping axes (n and τ change the
+// generated orders or fleet) are `fig13` workload-catalog entries, while
+// the engine-only axes (t_c, Δ) sweep as config deltas over one shared
+// default workload — the catalog builds that Simulation once for both
+// sweeps. The approach roster is the dispatcher axis and
+// CampaignRunner::Resume makes every sweep content-addressed and
+// resumable: kill the bench mid-run and the rerun re-executes only the
+// missing cells.
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "campaign/campaign_runner.h"
+#include "campaign/campaign_spec.h"
+#include "campaign/workload_catalog.h"
 #include "experiment_common.h"
 #include "util/strings.h"
 
@@ -17,14 +33,117 @@ namespace {
 const std::vector<std::string> kApproaches = {"RAND", "NEAR", "POLAR",
                                               "SHORT"};
 
+// CampaignRunner builds each workload once per campaign, but the built
+// Simulation only borrows what the Experiment owns — pin every Experiment
+// for the life of the bench process. Keyed by (drivers, tau) so the four
+// campaigns share the default-parameter Experiment instead of regenerating
+// it per sweep.
+Experiment& PinExperiment(const ExperimentScale& scale, int num_drivers,
+                          double tau_seconds) {
+  static std::map<std::pair<int, double>, std::unique_ptr<Experiment>> pool;
+  std::unique_ptr<Experiment>& slot = pool[{num_drivers, tau_seconds}];
+  if (slot == nullptr) {
+    slot = std::make_unique<Experiment>(scale, num_drivers, tau_seconds);
+  }
+  return *slot;
+}
+
+// Out-of-tree workload entry: "fig13:drivers=2000" / "fig13:tau=180" is the
+// evaluation-day workload at that fleet size / base pickup waiting time,
+// with the DeepST forecast attached (SHORT and POLAR read it; the
+// prediction-free baselines ignore it — the same pairing RunApproach
+// hard-coded).
+const WorkloadRegistrar kFig13Workload(
+    "fig13",
+    {
+        {"drivers", CatalogParam::Type::kInt64, "3000",
+         "paper-scale fleet size (shrunk by MRVD_SCALE)"},
+        {"tau", CatalogParam::Type::kDouble, "120",
+         "base pickup waiting time (s)"},
+        {"delta", CatalogParam::Type::kDouble, "3",
+         "batch interval (s)"},
+        {"tc", CatalogParam::Type::kDouble, "1200",
+         "prediction window (s)"},
+    },
+    [](const CatalogParams& p) -> StatusOr<Simulation> {
+      ExperimentScale scale = ResolveScale();
+      Experiment& exp = PinExperiment(
+          scale, scale.Count(static_cast<int>(p.GetInt("drivers"))),
+          p.GetDouble("tau"));
+      const DemandForecast* forecast = exp.ForecastFor("DeepST");
+      SimulationBuilder builder;
+      builder.BorrowWorkload(exp.workload(), exp.grid())
+          .WithTravelModel(exp.cost_model())
+          .BatchInterval(p.GetDouble("delta"))
+          .WindowSeconds(p.GetDouble("tc"));
+      if (forecast != nullptr) builder.WithForecast(*forecast);
+      return builder.Build();
+    });
+
+struct SweepResult {
+  /// served[column][approach]; -1 marks a failed cell.
+  std::vector<std::vector<long long>> served;
+  int64_t failed = 0;
+};
+
+/// Runs one fig13 campaign. Columns are the workload axis when `workloads`
+/// is non-empty, otherwise the config-delta axis over the default
+/// workload.
+StatusOr<SweepResult> RunSweep(const ExperimentScale& scale,
+                               const std::string& name,
+                               const std::vector<std::string>& workloads,
+                               const std::vector<std::string>& deltas) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.workloads =
+      workloads.empty() ? std::vector<std::string>{"fig13"} : workloads;
+  spec.dispatchers = kApproaches;
+  // RunApproach seeded RAND with scale.seed ^ 0xABCD; the seed axis
+  // reproduces that.
+  spec.seeds = {scale.seed ^ 0xABCD};
+  if (!deltas.empty()) spec.config_deltas = deltas;
+
+  // Cell keys hash the canonical specs, which do not see MRVD_SCALE /
+  // MRVD_SEED — keep artifacts from different scales apart by directory.
+  std::string artifact_dir = StrFormat(
+      "bench_artifacts/%s/scale_%g_seed_%llu", name.c_str(), scale.scale,
+      static_cast<unsigned long long>(scale.seed));
+  CampaignRunner runner(spec, artifact_dir);
+  CampaignOptions options;
+  options.num_threads = 1;  // comparable timings, like the other figures
+  StatusOr<CampaignReport> report = runner.Resume(options);
+  if (!report.ok()) return report.status();
+  std::printf("%s: %lld executed, %lld resumed from %s, %lld failed\n",
+              name.c_str(), static_cast<long long>(report->executed),
+              static_cast<long long>(report->loaded), artifact_dir.c_str(),
+              static_cast<long long>(report->failed));
+
+  SweepResult out;
+  const size_t columns =
+      workloads.empty() ? deltas.size() : workloads.size();
+  out.served.assign(columns,
+                    std::vector<long long>(kApproaches.size(), -1));
+  for (const CellOutcome& cell : report->cells) {
+    if (cell.source == CellOutcome::Source::kFailed) continue;
+    const size_t column = workloads.empty()
+                              ? static_cast<size_t>(cell.cell.delta_index)
+                              : static_cast<size_t>(cell.cell.workload_index);
+    out.served[column][static_cast<size_t>(cell.cell.dispatcher_index)] =
+        static_cast<long long>(cell.artifact.served);
+  }
+  out.failed = report->failed;
+  return out;
+}
+
 void PrintServedTable(const std::string& title,
-                      const std::vector<std::string>& header,
-                      const std::vector<std::vector<SimResult>>& results) {
+                      std::vector<std::string> header,
+                      const std::vector<std::vector<long long>>& served) {
+  header.insert(header.begin(), "approach");
   PrintTableHeader(title, header);
   for (size_t a = 0; a < kApproaches.size(); ++a) {
     std::vector<std::string> row = {kApproaches[a]};
-    for (const auto& r : results[a]) {
-      row.push_back(StrFormat("%lld", (long long)r.served_orders));
+    for (const std::vector<long long>& column : served) {
+      row.push_back(column[a] >= 0 ? StrFormat("%lld", column[a]) : "n/a");
     }
     PrintTableRow(row);
   }
@@ -35,54 +154,77 @@ void PrintServedTable(const std::string& title,
 int main() {
   ExperimentScale scale = ResolveScale();
   std::printf("Reproduction of Figure 13 (scale=%.2f)\n", scale.scale);
+  int64_t failed = 0;
 
-  {  // (a) vary n
-    std::vector<std::vector<SimResult>> results(kApproaches.size());
+  {  // (a) vary n — workload axis
+    std::vector<std::string> workloads;
     for (int n : {1000, 2000, 3000, 4000, 5000}) {
-      Experiment exp(scale, scale.Count(n), 120.0);
-      for (size_t a = 0; a < kApproaches.size(); ++a) {
-        results[a].push_back(exp.RunApproach(kApproaches[a], 3.0, 1200.0));
-      }
+      workloads.push_back(StrFormat("fig13:drivers=%d", n));
+    }
+    StatusOr<SweepResult> sweep =
+        RunSweep(scale, "fig13a_vary_n", workloads, {});
+    if (!sweep.ok()) {
+      std::fprintf(stderr, "fig13a failed: %s\n",
+                   sweep.status().ToString().c_str());
+      return 1;
     }
     PrintServedTable("Figure 13(a): served orders vs n",
-                     {"approach", "1K", "2K", "3K", "4K", "5K"}, results);
+                     {"1K", "2K", "3K", "4K", "5K"}, sweep->served);
+    failed += sweep->failed;
   }
-  {  // (b) vary t_c
-    Experiment exp(scale, scale.Count(3000), 120.0);
-    std::vector<std::vector<SimResult>> results(kApproaches.size());
-    std::vector<std::string> header = {"approach"};
+  {  // (b) vary t_c — config deltas over the shared default workload
+    std::vector<std::string> deltas;
+    std::vector<std::string> header;
     for (double tc : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+      deltas.push_back(StrFormat("window_seconds=%g", tc * 60.0));
       header.push_back(StrFormat("%.0fm", tc));
-      for (size_t a = 0; a < kApproaches.size(); ++a) {
-        results[a].push_back(
-            exp.RunApproach(kApproaches[a], 3.0, tc * 60.0));
-      }
     }
-    PrintServedTable("Figure 13(b): served orders vs t_c", header, results);
+    StatusOr<SweepResult> sweep =
+        RunSweep(scale, "fig13b_vary_tc", {}, deltas);
+    if (!sweep.ok()) {
+      std::fprintf(stderr, "fig13b failed: %s\n",
+                   sweep.status().ToString().c_str());
+      return 1;
+    }
+    PrintServedTable("Figure 13(b): served orders vs t_c", header,
+                     sweep->served);
+    failed += sweep->failed;
   }
-  {  // (c) vary Δ
-    Experiment exp(scale, scale.Count(3000), 120.0);
-    std::vector<std::vector<SimResult>> results(kApproaches.size());
-    std::vector<std::string> header = {"approach"};
+  {  // (c) vary Δ — config deltas over the same workload
+    std::vector<std::string> deltas;
+    std::vector<std::string> header;
     for (double delta : {3.0, 5.0, 10.0, 20.0, 30.0}) {
+      deltas.push_back(StrFormat("batch_interval=%g", delta));
       header.push_back(StrFormat("%.0fs", delta));
-      for (size_t a = 0; a < kApproaches.size(); ++a) {
-        results[a].push_back(exp.RunApproach(kApproaches[a], delta, 1200.0));
-      }
     }
-    PrintServedTable("Figure 13(c): served orders vs Δ", header, results);
+    StatusOr<SweepResult> sweep =
+        RunSweep(scale, "fig13c_vary_delta", {}, deltas);
+    if (!sweep.ok()) {
+      std::fprintf(stderr, "fig13c failed: %s\n",
+                   sweep.status().ToString().c_str());
+      return 1;
+    }
+    PrintServedTable("Figure 13(c): served orders vs Δ", header,
+                     sweep->served);
+    failed += sweep->failed;
   }
-  {  // (d) vary τ
-    std::vector<std::vector<SimResult>> results(kApproaches.size());
-    std::vector<std::string> header = {"approach"};
+  {  // (d) vary τ — workload axis (deadlines are part of the orders)
+    std::vector<std::string> workloads;
+    std::vector<std::string> header;
     for (double tau : {60.0, 120.0, 180.0, 240.0, 300.0}) {
+      workloads.push_back(StrFormat("fig13:tau=%g", tau));
       header.push_back(StrFormat("%.0fs", tau));
-      Experiment exp(scale, scale.Count(3000), tau);
-      for (size_t a = 0; a < kApproaches.size(); ++a) {
-        results[a].push_back(exp.RunApproach(kApproaches[a], 3.0, 1200.0));
-      }
     }
-    PrintServedTable("Figure 13(d): served orders vs τ", header, results);
+    StatusOr<SweepResult> sweep =
+        RunSweep(scale, "fig13d_vary_tau", workloads, {});
+    if (!sweep.ok()) {
+      std::fprintf(stderr, "fig13d failed: %s\n",
+                   sweep.status().ToString().c_str());
+      return 1;
+    }
+    PrintServedTable("Figure 13(d): served orders vs τ", header,
+                     sweep->served);
+    failed += sweep->failed;
   }
-  return 0;
+  return failed == 0 ? 0 : 1;
 }

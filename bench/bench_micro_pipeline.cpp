@@ -45,6 +45,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,12 +56,21 @@
 #include "geo/travel.h"
 #include "sim/batch.h"
 #include "sim/engine.h"
+#include "telemetry/session.h"
 #include "util/json_writer.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 #include "workload/generator.h"
 #include "workload/order_stream.h"
+
+// Injected by bench/CMakeLists.txt; fall back for non-CMake compiles.
+#ifndef MRVD_BUILD_TYPE
+#define MRVD_BUILD_TYPE "unknown"
+#endif
+#ifndef MRVD_SANITIZER
+#define MRVD_SANITIZER ""
+#endif
 
 namespace mrvd {
 namespace {
@@ -175,8 +185,10 @@ int Main() {
   std::vector<int> thread_counts{1};
   for (int t = 2; t <= max_threads; t *= 2) thread_counts.push_back(t);
 
-  std::printf("pipeline micro-bench: %d riders, %d drivers, %d reps\n",
-              num_riders, num_drivers, reps);
+  const char* sanitizer = MRVD_SANITIZER[0] != '\0' ? MRVD_SANITIZER : "none";
+  std::printf("pipeline micro-bench: %d riders, %d drivers, %d reps "
+              "(build=%s sanitizer=%s)\n",
+              num_riders, num_drivers, reps, MRVD_BUILD_TYPE, sanitizer);
   std::printf("%-10s %8s %12s %9s %10s\n", "dispatcher", "threads",
               "ms/batch", "speedup", "identical");
 
@@ -683,6 +695,92 @@ int Main() {
   }
   std::filesystem::remove_all(campaign_dir);
 
+  // ---- Telemetry overhead phase: the serial engine run with (a) no
+  // session attached — the arm every run without WithTelemetry takes,
+  // where each instrumentation site degrades to a null-pointer check —
+  // (b) a metrics-only synchronous session, and (c) full tracing through
+  // the async drainer. All arms must produce the identical SimResult, and
+  // the instrumented arms must agree on the deterministic metric
+  // signature; the overhead ratios land on the perf record (expected:
+  // metrics ~1.00, tracing < 1.05) without a hard wall-clock gate — a
+  // timing assert on a loaded CI box would flake.
+  struct TelemetryRecord {
+    std::string mode;  ///< "off" | "metrics" | "trace_async"
+    double median_wall_s;
+    double overhead;  ///< median over the off arm's median
+    int64_t drained_events;
+    bool identical;
+  };
+  std::printf("\ntelemetry_overhead phase: NEAR serial, %d reps\n", reps);
+  std::printf("%-12s %12s %10s %12s %10s\n", "mode", "wall-s", "overhead",
+              "spans", "identical");
+  std::vector<TelemetryRecord> telemetry_records;
+  SimResult telemetry_baseline;
+  std::string telemetry_signature;
+  for (const char* mode : {"off", "metrics", "trace_async"}) {
+    const bool off = mode == std::string("off");
+    const bool trace = mode == std::string("trace_async");
+    std::vector<double> wall;
+    SimResult last;
+    int64_t drained = 0;
+    std::string signature;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::optional<telemetry::TelemetrySession> session;
+      SimConfig cfg = engine_cfg;
+      if (!off) {
+        telemetry::TelemetryConfig tcfg;
+        tcfg.tracing = trace;
+        tcfg.async_drain = trace;
+        session.emplace(tcfg);
+        cfg.telemetry = &*session;
+      }
+      auto near = MakeDispatcherByName("NEAR");
+      Stopwatch watch;
+      StatusOr<SimResult> run =
+          engine_sim->RunWith(cfg, *near, /*scenario=*/nullptr);
+      wall.push_back(watch.ElapsedSeconds());
+      if (!run.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n", run.status().ToString().c_str());
+        return 1;
+      }
+      last = *run;
+      if (session.has_value()) {
+        session->Finish();
+        drained = session->drained_events();
+        signature = session->metrics().DeterministicSignature();
+      }
+    }
+    double median_wall = MedianMs(wall);  // sorts in place; unit-agnostic
+    bool identical = true;
+    if (off) {
+      telemetry_baseline = last;
+    } else {
+      identical = SameResult(telemetry_baseline, last);
+      if (telemetry_signature.empty()) {
+        telemetry_signature = signature;
+      } else {
+        identical = identical && signature == telemetry_signature;
+      }
+    }
+    TelemetryRecord rec{
+        mode, median_wall,
+        telemetry_records.empty()
+            ? 1.0
+            : median_wall / telemetry_records.front().median_wall_s,
+        drained, identical};
+    telemetry_records.push_back(rec);
+    std::printf("%-12s %12.3f %9.2fx %12lld %10s\n", mode, rec.median_wall_s,
+                rec.overhead, static_cast<long long>(rec.drained_events),
+                identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: telemetry arm %s changed the simulation result "
+                   "or metric signature\n",
+                   mode);
+      return 1;
+    }
+  }
+
   // ---- Streaming phase: the binary order-trace ingestion path. A
   // synthetic multi-day trace is written record-at-a-time through
   // OrderStreamWriter (the writer itself is O(1) memory), then consumed
@@ -893,6 +991,10 @@ int Main() {
   JsonWriter w(json);
   w.BeginObject();
   w.Key("bench").String("micro_pipeline");
+  // Build-configuration stamp: Debug or sanitizer numbers must never be
+  // diffed against Release records.
+  w.Key("build_type").String(MRVD_BUILD_TYPE);
+  w.Key("sanitizer").String(sanitizer);
   w.Key("grid").String("16x16");
   w.Key("riders").Number(num_riders);
   w.Key("drivers").Number(num_drivers);
@@ -998,6 +1100,23 @@ int Main() {
     w.Key("wall_seconds").Number(r.wall_seconds);
     w.Key("executed").Number(r.executed);
     w.Key("loaded").Number(r.loaded);
+    w.Key("identical").Bool(r.identical);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  // Telemetry overhead: the off arm has no session (each instrumentation
+  // site is a null-pointer check), the instrumented arms record their
+  // wall-clock ratio over it plus the spans the tracing arm drained.
+  w.Key("telemetry_overhead").BeginObject();
+  w.Key("reps").Number(reps);
+  w.Key("results").BeginArray();
+  for (const TelemetryRecord& r : telemetry_records) {
+    w.BeginObject();
+    w.Key("mode").String(r.mode);
+    w.Key("wall_seconds").Number(r.median_wall_s);
+    w.Key("overhead").Number(r.overhead);
+    w.Key("drained_events").Number(r.drained_events);
     w.Key("identical").Bool(r.identical);
     w.EndObject();
   }

@@ -209,6 +209,12 @@ SimulationBuilder& SimulationBuilder::Shards(int num_shards) {
   return *this;
 }
 
+SimulationBuilder& SimulationBuilder::WithTelemetry(
+    telemetry::TelemetrySession* session) {
+  config_.telemetry = session;
+  return *this;
+}
+
 StatusOr<Simulation> SimulationBuilder::Build() const {
   const Workload* workload = borrowed_workload_ != nullptr
                                  ? borrowed_workload_

@@ -181,6 +181,13 @@ class SimulationBuilder {
   SimulationBuilder& Threads(int num_threads);
   SimulationBuilder& Shards(int num_shards);
 
+  /// Attaches a borrowed telemetry session (may be null to detach): runs
+  /// record per-stage trace spans and feed the session's MetricsRegistry.
+  /// The session must outlive every Simulation built from this builder and
+  /// must not be shared by concurrently executing runs. Telemetry never
+  /// affects results — only observes them.
+  SimulationBuilder& WithTelemetry(telemetry::TelemetrySession* session);
+
   const SimConfig& config() const { return config_; }
 
   /// Validates and assembles. Fails with InvalidArgument when no workload

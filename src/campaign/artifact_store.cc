@@ -30,6 +30,9 @@ RunArtifact MakeRunArtifact(const RunResult& result) {
   a.idle_mean_s = result.result.driver_idle_seconds.mean();
   a.dispatch_ms_mean = result.result.batch_seconds.mean() * 1e3;
   a.build_ms_mean = result.result.batch_build_seconds.mean() * 1e3;
+  a.dispatch_ms_p50 = result.result.dispatch_latency_p50 * 1e3;
+  a.dispatch_ms_p95 = result.result.dispatch_latency_p95 * 1e3;
+  a.dispatch_ms_p99 = result.result.dispatch_latency_p99 * 1e3;
   return a;
 }
 
@@ -37,6 +40,10 @@ ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {}
 
 std::string ArtifactStore::RunPath(const std::string& key) const {
   return (fs::path(dir_) / ("run-" + key + ".json")).string();
+}
+
+std::string ArtifactStore::TelemetryPath(const std::string& key) const {
+  return (fs::path(dir_) / ("telemetry-" + key + ".json")).string();
 }
 
 std::string ArtifactStore::ManifestPath() const {
@@ -114,9 +121,30 @@ Status ArtifactStore::SaveRun(const CampaignCell& cell,
   w.Key("idle_mean_s").Number(artifact.idle_mean_s);
   w.Key("dispatch_ms_mean").Number(artifact.dispatch_ms_mean);
   w.Key("build_ms_mean").Number(artifact.build_ms_mean);
+  w.Key("dispatch_ms_p50").Number(artifact.dispatch_ms_p50);
+  w.Key("dispatch_ms_p95").Number(artifact.dispatch_ms_p95);
+  w.Key("dispatch_ms_p99").Number(artifact.dispatch_ms_p99);
+  w.Key("hourly").BeginArray();
+  for (size_t h = 0; h < artifact.hourly.size(); ++h) {
+    const HourlyRow& row = artifact.hourly[h];
+    w.BeginObject();
+    w.Key("hour").Number(static_cast<int64_t>(h));
+    w.Key("served").Number(row.served);
+    w.Key("reneged").Number(row.reneged);
+    w.Key("cancelled").Number(row.cancelled);
+    w.Key("revenue").Number(row.revenue);
+    w.Key("wait_seconds_sum").Number(row.wait_seconds_sum);
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   os << "\n";
   return WriteFileAtomic(RunPath(cell.key), os.str());
+}
+
+Status ArtifactStore::SaveTelemetry(const CampaignCell& cell,
+                                    const std::string& json) const {
+  return WriteFileAtomic(TelemetryPath(cell.key), json);
 }
 
 StatusOr<RunArtifact> ArtifactStore::LoadRun(const CampaignCell& cell) const {
@@ -163,6 +191,9 @@ StatusOr<RunArtifact> ArtifactStore::LoadRun(const CampaignCell& cell) const {
            DoubleField{"idle_mean_s", &RunArtifact::idle_mean_s},
            DoubleField{"dispatch_ms_mean", &RunArtifact::dispatch_ms_mean},
            DoubleField{"build_ms_mean", &RunArtifact::build_ms_mean},
+           DoubleField{"dispatch_ms_p50", &RunArtifact::dispatch_ms_p50},
+           DoubleField{"dispatch_ms_p95", &RunArtifact::dispatch_ms_p95},
+           DoubleField{"dispatch_ms_p99", &RunArtifact::dispatch_ms_p99},
        }) {
     StatusOr<double> v = doc->GetDouble(f.key);
     if (!v.ok()) return v.status();
@@ -182,6 +213,33 @@ StatusOr<RunArtifact> ArtifactStore::LoadRun(const CampaignCell& cell) const {
     StatusOr<int64_t> v = doc->GetInt64(f.key);
     if (!v.ok()) return v.status();
     a.*(f.field) = *v;
+  }
+  const JsonValue* hourly = doc->Find("hourly");
+  if (hourly != nullptr) {
+    if (!hourly->is_array()) {
+      return Status::InvalidArgument("artifact '" + RunPath(cell.key) +
+                                     "': 'hourly' is not an array");
+    }
+    a.hourly.reserve(hourly->array().size());
+    for (const JsonValue& entry : hourly->array()) {
+      HourlyRow row;
+      StatusOr<int64_t> served = entry.GetInt64("served");
+      if (!served.ok()) return served.status();
+      row.served = *served;
+      StatusOr<int64_t> reneged = entry.GetInt64("reneged");
+      if (!reneged.ok()) return reneged.status();
+      row.reneged = *reneged;
+      StatusOr<int64_t> cancelled = entry.GetInt64("cancelled");
+      if (!cancelled.ok()) return cancelled.status();
+      row.cancelled = *cancelled;
+      StatusOr<double> revenue = entry.GetDouble("revenue");
+      if (!revenue.ok()) return revenue.status();
+      row.revenue = *revenue;
+      StatusOr<double> wait = entry.GetDouble("wait_seconds_sum");
+      if (!wait.ok()) return wait.status();
+      row.wait_seconds_sum = *wait;
+      a.hourly.push_back(row);
+    }
   }
   return a;
 }

@@ -7,10 +7,15 @@
 // artifact reads as "missing" and the cell simply re-executes.
 //
 // Layout of a campaign directory:
-//   campaign.json    the CampaignSpec (written at start; `campaign resume`
-//                    re-reads it so a killed run needs no flags)
-//   run-<key>.json   one artifact per completed cell (content-addressed)
-//   manifest.json    deterministic cell/summary table (written at end)
+//   campaign.json          the CampaignSpec (written at start; `campaign
+//                          resume` re-reads it so a killed run needs no
+//                          flags)
+//   run-<key>.json         one artifact per completed cell
+//                          (content-addressed)
+//   telemetry-<key>.json   the cell's metrics registry (only with
+//                          CampaignOptions::telemetry; never load-bearing —
+//                          resume ignores it)
+//   manifest.json          deterministic cell/summary table (written at end)
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,7 @@
 
 #include "api/experiment_runner.h"
 #include "campaign/campaign_spec.h"
+#include "sim/hourly_stats.h"
 #include "util/status.h"
 
 namespace mrvd {
@@ -42,6 +48,16 @@ struct RunArtifact {
   double idle_mean_s = 0.0;
   double dispatch_ms_mean = 0.0;
   double build_ms_mean = 0.0;
+  /// Per-batch dispatch latency percentiles (ms). Wall-clock execution
+  /// metadata, like wall_seconds: persisted for observability, never
+  /// compared or aggregated.
+  double dispatch_ms_p50 = 0.0;
+  double dispatch_ms_p95 = 0.0;
+  double dispatch_ms_p99 = 0.0;
+  /// Per-hour event breakdown (deterministic; see sim/hourly_stats.h).
+  /// Filled by CampaignRunner from the cell's HourlyBreakdown observer;
+  /// empty for artifacts written before the rows existed.
+  std::vector<HourlyRow> hourly;
 };
 
 /// Projects a RunResult onto the persisted headline numbers.
@@ -53,6 +69,7 @@ class ArtifactStore {
 
   const std::string& dir() const { return dir_; }
   std::string RunPath(const std::string& key) const;
+  std::string TelemetryPath(const std::string& key) const;
   std::string ManifestPath() const;
   std::string SpecPath() const;
 
@@ -70,6 +87,11 @@ class ArtifactStore {
   /// parse error, key/axis mismatch (the file belongs to a different run) —
   /// returns a non-OK Status; CampaignRunner treats that as "re-execute".
   StatusOr<RunArtifact> LoadRun(const CampaignCell& cell) const;
+
+  /// Writes the cell's telemetry document (a MetricsRegistry JSON dump)
+  /// atomically next to its run artifact.
+  Status SaveTelemetry(const CampaignCell& cell,
+                       const std::string& json) const;
 
   /// Persists / restores the campaign spec (campaign.json).
   Status SaveSpec(const CampaignSpec& spec) const;

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "campaign/workload_catalog.h"
+#include "sim/hourly_stats.h"
+#include "telemetry/session.h"
 #include "util/json_writer.h"
 #include "util/thread_pool.h"
 
@@ -123,8 +125,31 @@ StatusOr<CampaignReport> CampaignRunner::Execute(
         outcome.error = delta_status.ToString();
         return;
       }
+
+      // Per-cell telemetry: a synchronous session with tracing off (no
+      // drainer thread, metrics only) — each cell runs on exactly one
+      // worker, so the registry's coordinator-thread contract holds.
+      std::optional<telemetry::TelemetrySession> session;
+      if (options.telemetry) {
+        telemetry::TelemetryConfig tele_config;
+        tele_config.tracing = false;
+        tele_config.async_drain = false;
+        session.emplace(tele_config);
+        config.telemetry = &*session;
+      } else {
+        // Never inherit a session from the Simulation's base config: one
+        // session shared across concurrently executing cells would break
+        // its single-run contract.
+        config.telemetry = nullptr;
+      }
       spec.config = config;
       spec.replication_seed = cell.seed;
+
+      // The per-hour breakdown rides along on every executed cell — it is
+      // deterministic (event-stream driven), cheap, and lands in the run
+      // artifact.
+      HourlyBreakdown hourly(config.horizon_seconds);
+      spec.observer = &hourly;
 
       StatusOr<RunResult> result = ExperimentRunner::RunOne(sim, spec);
       if (!result.ok()) {
@@ -133,6 +158,7 @@ StatusOr<CampaignReport> CampaignRunner::Execute(
         return;
       }
       outcome.artifact = MakeRunArtifact(*result);
+      outcome.artifact.hourly = hourly.rows();
       Status saved = store_.SaveRun(cell, outcome.artifact);
       if (!saved.ok()) {
         // The run succeeded but the store did not take it: report the cell
@@ -140,6 +166,15 @@ StatusOr<CampaignReport> CampaignRunner::Execute(
         outcome.source = CellOutcome::Source::kFailed;
         outcome.error = saved.ToString();
         return;
+      }
+      if (session) {
+        session->Finish();
+        Status tele_saved = store_.SaveTelemetry(cell, session->MetricsJson());
+        if (!tele_saved.ok()) {
+          outcome.source = CellOutcome::Source::kFailed;
+          outcome.error = tele_saved.ToString();
+          return;
+        }
       }
       outcome.source = CellOutcome::Source::kExecuted;
       outcome.live = std::move(result).value();

@@ -38,6 +38,13 @@ namespace mrvd {
 struct CampaignOptions {
   /// Concurrent cell executions (0 = hardware concurrency, 1 = serial).
   int num_threads = 1;
+
+  /// Attach a synchronous, tracing-off TelemetrySession to every executed
+  /// cell and persist its metrics registry as telemetry-<key>.json next to
+  /// the run artifact. Observational only: results, artifacts, and the
+  /// manifest are bit-identical with it on or off, and resume never reads
+  /// the telemetry documents back.
+  bool telemetry = false;
 };
 
 /// What happened to one grid cell.

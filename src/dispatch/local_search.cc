@@ -29,12 +29,16 @@
 // tests/local_search_test.cc. `parallel=0` keeps the original sequential
 // sweep as an A/B baseline.
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "dispatch/conflict_partition.h"
 #include "dispatch/dispatchers.h"
 #include "dispatch/irg_core.h"
 #include "dispatch/pipeline.h"
+#include "telemetry/session.h"
+#include "telemetry/trace.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace mrvd {
@@ -143,6 +147,22 @@ void RunConflictDecomposedSweeps(const BatchContext& ctx,
                                  const std::vector<CandidatePair>& pairs,
                                  int max_sweeps, IrgState* state,
                                  DispatchCounters* counters) {
+  // Telemetry (optional): the propose/commit/revalidate wall-time split of
+  // every sweep. Execution metadata — the phase boundaries exist only on
+  // this decomposed path, and the revalidate share depends on how commits
+  // interleave with speculation, so all three histograms are kExecution
+  // scope. Registry access stays on this (the coordinator) thread.
+  telemetry::TelemetrySession* tele = ctx.telemetry();
+  telemetry::LogHistogram* propose_hist = nullptr;
+  telemetry::LogHistogram* commit_hist = nullptr;
+  telemetry::LogHistogram* revalidate_hist = nullptr;
+  if (tele != nullptr) {
+    telemetry::MetricsRegistry& reg = tele->metrics();
+    propose_hist = reg.histogram("ls.propose_seconds");
+    commit_hist = reg.histogram("ls.commit_seconds");
+    revalidate_hist = reg.histogram("ls.revalidate_seconds");
+  }
+
   const LsSwapPlan plan = BuildLsSwapPlan(ctx, pairs, state->assignments);
   const int n = plan.num_slots;
   if (n == 0) {
@@ -165,6 +185,16 @@ void RunConflictDecomposedSweeps(const BatchContext& ctx,
   for (int sweep = 0; sweep < max_sweeps && changed; ++sweep) {
     ++counters->sweeps;
     changed = false;
+
+    // Propose phase span covers the ET snapshot + the speculative scan;
+    // optional<> sequences the two phase spans without re-scoping the
+    // sweep body. Null session keeps all of this at two pointer checks.
+    std::optional<telemetry::TraceSpan> phase_span;
+    int64_t phase_ns = 0;
+    if (tele != nullptr) {
+      phase_ns = Stopwatch::NowNanos();
+      phase_span.emplace(tele, "ls_propose");
+    }
 
     // 1. Dense ET snapshot at the sweep-start supply. Serial, through the
     // shared memo: a pure value per (region, extra) key, so warming here
@@ -212,6 +242,9 @@ void RunConflictDecomposedSweeps(const BatchContext& ctx,
     if (exec != nullptr && exec->Parallel() && n >= 64) {
       const int chunks = std::min(n, exec->pool->num_threads() * 4);
       exec->pool->ParallelFor(chunks, [&](int c) {
+        // Worker-thread span: one per chunk, recorded in the executing
+        // worker's own trace buffer.
+        telemetry::TraceSpan chunk_span(tele, "ls_propose_chunk");
         const int lo = n * c / chunks;
         const int hi = n * (c + 1) / chunks;
         for (int i = lo; i < hi; ++i) propose(i);
@@ -220,6 +253,15 @@ void RunConflictDecomposedSweeps(const BatchContext& ctx,
       for (int i = 0; i < n; ++i) propose(i);
     }
     counters->proposals += n;
+
+    double revalidate_seconds = 0.0;
+    if (tele != nullptr) {
+      phase_span.reset();
+      const int64_t now_ns = Stopwatch::NowNanos();
+      propose_hist->Add(static_cast<double>(now_ns - phase_ns) * 1e-9);
+      phase_ns = now_ns;
+      phase_span.emplace(tele, "ls_commit");
+    }
 
     // 3. Serial commit in slot order. A slot whose footprint no earlier
     // commit dirtied sees exactly the sweep-start state on everything it
@@ -237,7 +279,15 @@ void RunConflictDecomposedSweeps(const BatchContext& ctx,
         }
         if (dirty) {
           ++counters->proposals_recomputed;
-          best_rider = RecomputeBestSwap(ctx, plan, *state, i);
+          if (tele != nullptr) {
+            const int64_t reval_ns = Stopwatch::NowNanos();
+            best_rider = RecomputeBestSwap(ctx, plan, *state, i);
+            revalidate_seconds += static_cast<double>(Stopwatch::NowNanos() -
+                                                      reval_ns) *
+                                  1e-9;
+          } else {
+            best_rider = RecomputeBestSwap(ctx, plan, *state, i);
+          }
         }
       }
       if (best_rider < 0) continue;
@@ -255,6 +305,15 @@ void RunConflictDecomposedSweeps(const BatchContext& ctx,
       region_dirty[static_cast<size_t>(new_d)] = sweep;
       changed = true;
       ++counters->swaps_applied;
+    }
+
+    if (tele != nullptr) {
+      phase_span.reset();
+      commit_hist->Add(
+          static_cast<double>(Stopwatch::NowNanos() - phase_ns) * 1e-9);
+      // The revalidate share is carved out of the commit phase: the sweep's
+      // exact recomputes of proposals an earlier commit invalidated.
+      revalidate_hist->Add(revalidate_seconds);
     }
   }
 }

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "geo/region_partitioner.h"
+#include "telemetry/trace.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -79,6 +80,9 @@ PreparedBatch PrepareShardedBatch(const BatchContext& ctx,
   exec->pool->ParallelFor(num_shards, [&](int s) {
     // Each ParallelFor task is exactly one shard, so the watch reads the
     // shard's parallel-phase wall time; shard_stats writes are disjoint.
+    // The span lands in the executing worker's trace buffer, so Perfetto
+    // shows the shard work on the thread that actually ran it.
+    telemetry::TraceSpan shard_span(ctx.telemetry(), "shard_prepare");
     Stopwatch shard_watch;
     ShardedBatchContext sctx(ctx, parts, s);
     for (RegionId dest : dests_by_shard[static_cast<size_t>(s)]) {

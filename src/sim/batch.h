@@ -19,6 +19,10 @@ namespace mrvd {
 class ThreadPool;
 class RegionPartitioner;
 
+namespace telemetry {
+class TelemetrySession;
+}  // namespace telemetry
+
 /// Parallel-execution context for one batch: a reusable worker pool plus
 /// the region sharding. When a BatchContext carries one (see
 /// BatchContext::SetExecution), dispatchers shard candidate generation,
@@ -136,6 +140,14 @@ class BatchContext {
   }
   const BatchExecution* execution() const { return execution_; }
 
+  /// Optional telemetry session (null = telemetry off), set by the engine
+  /// so dispatchers can emit trace spans and phase histograms without any
+  /// extra plumbing. Borrowed; must outlive the batch.
+  void SetTelemetry(telemetry::TelemetrySession* telemetry) {
+    telemetry_ = telemetry;
+  }
+  telemetry::TelemetrySession* telemetry() const { return telemetry_; }
+
   /// Travel seconds from a driver's location to a rider's pickup.
   double PickupSeconds(const AvailableDriver& d, const WaitingRider& r) const {
     return cost_model_.TravelSeconds(d.location, r.pickup);
@@ -201,6 +213,7 @@ class BatchContext {
   std::vector<std::vector<int>> drivers_by_region_;
   std::vector<RegionSnapshot> snapshots_;
   const BatchExecution* execution_ = nullptr;
+  telemetry::TelemetrySession* telemetry_ = nullptr;  ///< borrowed; may be null
   mutable ShardIndex shard_index_;  ///< lazily built; see EnsureShardIndex
 
   /// (region << 20 | extra) -> ET cache.

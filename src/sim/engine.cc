@@ -15,6 +15,8 @@
 #include "sim/fleet_state.h"
 #include "sim/order_book.h"
 #include "sim/shard_load_tracker.h"
+#include "telemetry/session.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -281,21 +283,77 @@ SimResult Simulator::RunImpl(Dispatcher& dispatcher,
                        pool != nullptr ? &execution : nullptr);
   AssignmentApplier applier(dispatcher.name(), config_.zero_pickup_travel);
 
+  // Telemetry (null session = off: every site below degrades to a pointer
+  // check). Metrics are resolved once; the registry is written only from
+  // this thread (see telemetry/metrics.h for the thread model). Counter
+  // values and the two per-batch histogram COUNTS are deterministic —
+  // invariant across thread counts — while every recorded duration and the
+  // per-shard histogram are execution metadata.
+  telemetry::TelemetrySession* const tele = config_.telemetry;
+  telemetry::Counter* tele_batches = nullptr;
+  telemetry::Counter* tele_assignments = nullptr;
+  telemetry::Counter* tele_repartitions = nullptr;
+  telemetry::LogHistogram* tele_dispatch_hist = nullptr;
+  telemetry::LogHistogram* tele_build_hist = nullptr;
+  telemetry::LogHistogram* tele_shard_hist = nullptr;
+  if (tele != nullptr) {
+    telemetry::MetricsRegistry& reg = tele->metrics();
+    tele_batches = reg.counter("engine.batches");
+    tele_assignments = reg.counter("engine.assignments");
+    tele_repartitions =
+        reg.counter("engine.repartitions", telemetry::MetricScope::kExecution);
+    tele_dispatch_hist = reg.histogram(
+        "engine.dispatch_seconds", telemetry::MetricScope::kDeterministic);
+    tele_build_hist = reg.histogram("engine.batch_build_seconds",
+                                    telemetry::MetricScope::kDeterministic);
+    tele_shard_hist = reg.histogram("pipeline.shard_seconds");
+  }
+  int64_t stage_start_ns = 0;
+  auto stage_begin = [&stage_start_ns] {
+    stage_start_ns = Stopwatch::NowNanos();
+  };
+  auto stage_seconds = [&stage_start_ns] {
+    return static_cast<double>(Stopwatch::NowNanos() - stage_start_ns) * 1e-9;
+  };
+
   const double delta = config_.batch_interval;
   const double horizon = config_.horizon_seconds;
   double now = 0.0;
   for (; now < horizon; now += delta) {
+    telemetry::TraceSpan batch_span(tele, "batch");
+    BatchTimings timings;
+
     // 1. Busy drivers finishing by `now` rejoin at their destination.
-    fleet.ReleaseFinished(now);
+    stage_begin();
+    {
+      telemetry::TraceSpan span(tele, "release_finished");
+      fleet.ReleaseFinished(now);
+    }
+    timings.release_seconds = stage_seconds();
 
     // 2. Riders that posted since the last batch enter the book; scenario
     //    events due by `now` apply (shifts, cancels, surge transitions);
     //    expired riders renege. Cancellation is processed before reneging,
     //    so a rider whose cancel and deadline land in the same batch counts
     //    as cancelled, not reneged.
-    orders.InjectArrivals(now);
-    scenario.ApplyDueEvents(now, &fleet, &orders, &observers);
-    orders.RemoveExpired(now, &observers);
+    stage_begin();
+    {
+      telemetry::TraceSpan span(tele, "inject_arrivals");
+      orders.InjectArrivals(now);
+    }
+    timings.inject_seconds = stage_seconds();
+    stage_begin();
+    {
+      telemetry::TraceSpan span(tele, "scenario_events");
+      scenario.ApplyDueEvents(now, &fleet, &orders, &observers);
+    }
+    timings.scenario_seconds = stage_seconds();
+    stage_begin();
+    {
+      telemetry::TraceSpan span(tele, "remove_expired");
+      orders.RemoveExpired(now, &observers);
+    }
+    timings.expire_seconds = stage_seconds();
 
     if (orders.waiting().empty() && !fleet.HasFreshDrivers() &&
         !fleet.HasBusyDrivers() && orders.Exhausted() &&
@@ -320,6 +378,7 @@ SimResult Simulator::RunImpl(Dispatcher& dispatcher,
               *rebalanced, load_tracker->weights());
           partitioner = std::move(rebalanced);
           execution.partitioner = partitioner.get();
+          if (tele_repartitions != nullptr) tele_repartitions->Add();
           observers.OnRepartition(now, partitioner->num_shards(), imbalance,
                                   after);
         }
@@ -329,9 +388,15 @@ SimResult Simulator::RunImpl(Dispatcher& dispatcher,
     // 4. Build the batch context off the incremental counters.
     fleet.AdvanceRejoinWindow(now, config_.window_seconds);
     Stopwatch build_watch;
-    std::unique_ptr<BatchContext> ctx =
-        builder.Build(now, orders, fleet, scenario.demand_multipliers());
-    observers.OnBatchBuilt(now, build_watch.ElapsedSeconds(), *ctx);
+    std::unique_ptr<BatchContext> ctx;
+    {
+      telemetry::TraceSpan span(tele, "batch_build");
+      ctx = builder.Build(now, orders, fleet, scenario.demand_multipliers());
+    }
+    const double build_seconds = build_watch.ElapsedSeconds();
+    timings.build_seconds = build_seconds;
+    ctx->SetTelemetry(tele);
+    observers.OnBatchBuilt(now, build_seconds, *ctx);
     if (load_tracker != nullptr) load_tracker->Observe(ctx->snapshots());
 
     // 5. Capture idle-time estimates for freshly (re)joined drivers.
@@ -341,20 +406,45 @@ SimResult Simulator::RunImpl(Dispatcher& dispatcher,
     // 6. Dispatch.
     std::vector<Assignment> assignments;
     Stopwatch dispatch_watch;
-    dispatcher.Dispatch(*ctx, &assignments);
-    observers.OnDispatchDone(now, dispatch_watch.ElapsedSeconds(),
-                             assignments);
+    {
+      telemetry::TraceSpan span(tele, "dispatch");
+      dispatcher.Dispatch(*ctx, &assignments);
+    }
+    const double dispatch_seconds = dispatch_watch.ElapsedSeconds();
+    timings.dispatch_seconds = dispatch_seconds;
+    observers.OnDispatchDone(now, dispatch_seconds, assignments);
     if (const DispatchCounters* counters = dispatcher.counters()) {
       observers.OnDispatchCounters(now, *counters);
+      if (tele_shard_hist != nullptr) {
+        // Per-shard parallel-phase wall times reach the registry here, on
+        // the coordinating thread — workers never touch the registry.
+        for (const ShardLoadStat& s : counters->shards) {
+          tele_shard_hist->Add(s.seconds);
+        }
+      }
     }
 
     // 7. Apply assignments and compact the served riders out of the book.
-    applier.Apply(now, *ctx, assignments, &fleet, &orders, &observers);
+    stage_begin();
+    {
+      telemetry::TraceSpan span(tele, "assignment_apply");
+      applier.Apply(now, *ctx, assignments, &fleet, &orders, &observers);
+    }
+    timings.apply_seconds = stage_seconds();
+
+    if (tele_batches != nullptr) {
+      tele_batches->Add();
+      tele_assignments->Add(static_cast<int64_t>(assignments.size()));
+      tele_dispatch_hist->Add(dispatch_seconds);
+      tele_build_hist->Add(build_seconds);
+    }
+    observers.OnBatchTimings(now, timings);
     observers.OnBatchEnd(now);
   }
 
   // Anything left waiting (or never injected) at the horizon never got
   // served.
+  if (tele != nullptr) observers.OnRunTelemetry(now, *tele);
   observers.OnRunEnd(now, orders.UnservedRemainder());
   return metrics.TakeResult();
 }

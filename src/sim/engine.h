@@ -29,6 +29,10 @@
 
 namespace mrvd {
 
+namespace telemetry {
+class TelemetrySession;
+}  // namespace telemetry
+
 struct SimConfig {
   double batch_interval = 3.0;     ///< Δ seconds (Table 2 default)
   double window_seconds = 1200.0;  ///< t_c = 20 minutes (Table 2 default)
@@ -79,6 +83,16 @@ struct SimConfig {
   /// Weight of forecast demand (already surge-scaled by the BatchBuilder)
   /// blended on top of the observed EWMA, >= 0.
   double forecast_blend = 1.0;
+
+  /// Borrowed telemetry session (SimulationBuilder::WithTelemetry). Null =
+  /// telemetry off: every instrumentation site degrades to a pointer
+  /// check. When set, the engine records stage trace spans and feeds the
+  /// session's MetricsRegistry; the attached session must outlive the run
+  /// and be used by at most one concurrently executing run. Not part of
+  /// the simulated configuration: ignored by Validate(), excluded from
+  /// campaign cell keys, and it never affects results (bit-identity with
+  /// and without a session is enforced by tests/telemetry_test.cc).
+  telemetry::TelemetrySession* telemetry = nullptr;
 
   /// Shard count the engine's pipeline uses with `threads` workers:
   /// num_shards when set, else 2x the workers (the partitioner clamps to

@@ -1,0 +1,35 @@
+#include "sim/hourly_stats.h"
+
+#include <cmath>
+
+namespace mrvd {
+
+HourlyBreakdown::HourlyBreakdown(double horizon_seconds) {
+  const double hours = std::ceil(horizon_seconds / 3600.0);
+  const auto n = static_cast<size_t>(hours < 1.0 ? 1.0 : hours);
+  rows_.resize(n);
+}
+
+HourlyRow& HourlyBreakdown::RowAt(double now) {
+  auto index = static_cast<size_t>(now >= 0.0 ? now / 3600.0 : 0.0);
+  if (index >= rows_.size()) index = rows_.size() - 1;
+  return rows_[index];
+}
+
+void HourlyBreakdown::OnAssignmentApplied(double now,
+                                          const AssignmentEvent& e) {
+  HourlyRow& row = RowAt(now);
+  ++row.served;
+  row.revenue += e.revenue;
+  row.wait_seconds_sum += e.wait_seconds;
+}
+
+void HourlyBreakdown::OnRiderReneged(double now, const Order& /*order*/) {
+  ++RowAt(now).reneged;
+}
+
+void HourlyBreakdown::OnRiderCancelled(double now, const Order& /*order*/) {
+  ++RowAt(now).cancelled;
+}
+
+}  // namespace mrvd

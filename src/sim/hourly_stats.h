@@ -1,0 +1,44 @@
+// HourlyBreakdown: a SimObserver that slices the engine's event stream
+// into per-hour rows (served / reneged / cancelled counts, revenue, wait
+// time) — the time-of-day profile of a run. Purely event-driven, so the
+// rows are deterministic: bit-identical at any engine or campaign thread
+// count. The campaign layer attaches one per cell and persists the rows in
+// the cell's run artifact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/observer.h"
+
+namespace mrvd {
+
+/// One simulated hour's slice of the run.
+struct HourlyRow {
+  int64_t served = 0;
+  int64_t reneged = 0;  ///< deadline reneges only (no horizon remainder)
+  int64_t cancelled = 0;
+  double revenue = 0.0;
+  double wait_seconds_sum = 0.0;  ///< over served orders (mean = sum/served)
+};
+
+class HourlyBreakdown final : public SimObserver {
+ public:
+  /// Rows cover [0, horizon_seconds) in 3600 s buckets; events past the
+  /// horizon (applications landing on the final batch edge) clamp into the
+  /// last row rather than being dropped.
+  explicit HourlyBreakdown(double horizon_seconds);
+
+  void OnAssignmentApplied(double now, const AssignmentEvent& e) override;
+  void OnRiderReneged(double now, const Order& order) override;
+  void OnRiderCancelled(double now, const Order& order) override;
+
+  const std::vector<HourlyRow>& rows() const { return rows_; }
+
+ private:
+  HourlyRow& RowAt(double now);
+
+  std::vector<HourlyRow> rows_;
+};
+
+}  // namespace mrvd

@@ -48,6 +48,14 @@ struct SimResult {
   RunningStats batch_seconds;        ///< dispatcher time per batch
   RunningStats batch_build_seconds;  ///< batch-construction time per batch
 
+  // Per-batch dispatch-latency percentiles from MetricsCollector's
+  // log-bucketed histogram (seconds; 0 when no batch ran). Wall-clock
+  // execution metadata like batch_seconds: never part of bit-identity
+  // comparisons or content-addressed keys.
+  double dispatch_latency_p50 = 0.0;
+  double dispatch_latency_p95 = 0.0;
+  double dispatch_latency_p99 = 0.0;
+
   // Idle-time estimation study (Table 3, Figure 6).
   ErrorStats idle_error;                    ///< (estimated, real) pairs
   std::vector<RegionIdleStats> region_idle; ///< indexed by region

@@ -24,6 +24,7 @@ void MetricsCollector::OnDispatchDone(
     double /*now*/, double dispatch_seconds,
     const std::vector<Assignment>& /*assignments*/) {
   result_.batch_seconds.Add(dispatch_seconds);
+  dispatch_latency_.Add(dispatch_seconds);
   ++result_.num_batches;
 }
 
@@ -104,6 +105,9 @@ void MetricsCollector::OnRepartition(double /*now*/, int /*num_shards*/,
 void MetricsCollector::OnRunEnd(double /*end_time*/,
                                 int64_t never_dispatched) {
   result_.reneged_orders += never_dispatched;
+  result_.dispatch_latency_p50 = dispatch_latency_.P50();
+  result_.dispatch_latency_p95 = dispatch_latency_.P95();
+  result_.dispatch_latency_p99 = dispatch_latency_.P99();
 }
 
 }  // namespace mrvd

@@ -1,0 +1,48 @@
+#include "telemetry/trace.h"
+
+#include <utility>
+
+#include "telemetry/session.h"
+#include "util/stopwatch.h"
+
+namespace mrvd {
+namespace telemetry {
+
+ThreadTraceBuffer::ThreadTraceBuffer(TelemetrySession* session, int tid,
+                                     size_t chunk_events)
+    : session_(session), tid_(tid), chunk_events_(chunk_events) {
+  events_.reserve(chunk_events_);
+}
+
+void ThreadTraceBuffer::Flush() {
+  if (events_.empty()) return;
+  TraceChunk chunk;
+  chunk.tid = tid_;
+  chunk.events = std::move(events_);
+  events_ = {};
+  events_.reserve(chunk_events_);
+  session_->EnqueueChunk(std::move(chunk));
+}
+
+TraceSpan::TraceSpan(TelemetrySession* session, const char* name,
+                     const char* category) {
+  if (session == nullptr || !session->tracing()) return;
+  buffer_ = session->BufferForCurrentThread();
+  if (buffer_ == nullptr) return;
+  name_ = name;
+  category_ = category;
+  start_ns_ = Stopwatch::NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (buffer_ == nullptr) return;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.start_ns = start_ns_;
+  event.dur_ns = Stopwatch::NowNanos() - start_ns_;
+  buffer_->Record(event);
+}
+
+}  // namespace telemetry
+}  // namespace mrvd

@@ -7,6 +7,7 @@ namespace mrvd {
 
 namespace {
 thread_local bool t_on_worker_thread = false;
+thread_local int t_worker_index = -1;
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
@@ -14,7 +15,7 @@ ThreadPool::ThreadPool(int num_threads)
   if (num_threads_ <= 1) return;
   workers_.reserve(static_cast<size_t>(num_threads_));
   for (int i = 0; i < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -35,6 +36,8 @@ int ThreadPool::HardwareThreads() {
 }
 
 bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+int ThreadPool::CurrentWorkerIndex() { return t_worker_index; }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
@@ -82,8 +85,9 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
   t_on_worker_thread = true;
+  t_worker_index = worker_index;
   for (;;) {
     std::packaged_task<void()> task;
     {

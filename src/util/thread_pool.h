@@ -40,6 +40,12 @@ class ThreadPool {
   /// would deadlock the pool.
   static bool OnWorkerThread();
 
+  /// The calling worker's index within its pool ([0, num_threads)), or -1
+  /// when the caller is not a pool worker. Stable for the thread's
+  /// lifetime; telemetry uses it to give trace threads human-readable
+  /// names ("worker-3") without the pool depending on the telemetry layer.
+  static int CurrentWorkerIndex();
+
   /// Enqueues `fn` (FIFO). The future rethrows any exception `fn` threw.
   /// Inline pools run `fn` before returning.
   std::future<void> Submit(std::function<void()> fn) MRVD_EXCLUDES(mu_);
@@ -50,7 +56,7 @@ class ThreadPool {
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
  private:
-  void WorkerLoop() MRVD_EXCLUDES(mu_);
+  void WorkerLoop(int worker_index) MRVD_EXCLUDES(mu_);
 
   const int num_threads_;
   std::vector<std::thread> workers_;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -16,6 +17,7 @@
 
 #include "api/api.h"
 #include "campaign/campaign.h"
+#include "util/json_reader.h"
 
 namespace mrvd {
 namespace {
@@ -457,6 +459,66 @@ TEST(CampaignRunnerTest, ScenarioAndDeltaCellsRunScripted) {
   EXPECT_EQ(bad_report->failed, 2);
   EXPECT_NE(bad_report->cells[0].error.find("window_seconds"),
             std::string::npos);
+}
+
+TEST(CampaignRunnerTest, HourlyBreakdownAndTelemetryArtifacts) {
+  TempDir dir("telemetry");
+  CampaignRunner runner(SmallSpec(), dir.str());
+  CampaignOptions options;
+  options.telemetry = true;
+  StatusOr<CampaignReport> report = runner.Run(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->failed, 0);
+
+  for (const CellOutcome& outcome : report->cells) {
+    const RunArtifact& a = outcome.artifact;
+    // Two-hour horizon -> two hourly rows whose counts reconcile with the
+    // headline aggregates. The hourly renege tally excludes the bulk
+    // never-dispatched remainder reported at the horizon.
+    ASSERT_EQ(a.hourly.size(), 2u) << outcome.cell.key;
+    int64_t served = 0;
+    int64_t reneged = 0;
+    double revenue = 0.0;
+    for (const HourlyRow& row : a.hourly) {
+      served += row.served;
+      reneged += row.reneged;
+      revenue += row.revenue;
+    }
+    EXPECT_EQ(served, a.served) << outcome.cell.key;
+    EXPECT_LE(reneged, a.reneged) << outcome.cell.key;
+    EXPECT_NEAR(revenue, a.revenue, 1e-6 * (1.0 + std::abs(a.revenue)));
+    EXPECT_GE(a.dispatch_ms_p95, a.dispatch_ms_p50);
+
+    // The per-cell telemetry document exists, parses, and its
+    // deterministic counters agree with the artifact.
+    StatusOr<JsonValue> tele = ReadJsonFile(
+        runner.store().TelemetryPath(outcome.cell.key));
+    ASSERT_TRUE(tele.ok()) << tele.status();
+    const JsonValue* counters = tele->Find("counters");
+    ASSERT_NE(counters, nullptr);
+    const JsonValue* batches = counters->Find("engine.batches");
+    ASSERT_NE(batches, nullptr);
+    EXPECT_EQ(*batches->GetInt64("value"), a.num_batches);
+  }
+
+  // Resume loads the artifacts back — hourly rows round-trip through the
+  // store bit-exact, and the manifest is reproduced byte for byte.
+  StatusOr<CampaignReport> resumed = runner.Resume();
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->loaded, 4);
+  EXPECT_EQ(resumed->manifest_json, report->manifest_json);
+  for (size_t i = 0; i < report->cells.size(); ++i) {
+    const std::vector<HourlyRow>& want = report->cells[i].artifact.hourly;
+    const std::vector<HourlyRow>& got = resumed->cells[i].artifact.hourly;
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t h = 0; h < want.size(); ++h) {
+      EXPECT_EQ(want[h].served, got[h].served);
+      EXPECT_EQ(want[h].reneged, got[h].reneged);
+      EXPECT_EQ(want[h].cancelled, got[h].cancelled);
+      EXPECT_EQ(want[h].revenue, got[h].revenue);
+      EXPECT_EQ(want[h].wait_seconds_sum, got[h].wait_seconds_sum);
+    }
+  }
 }
 
 // ----------------------------------------------------------- artifact store
